@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: collector-side aggregation throughput
+//! (ingesting reports and producing the naive per-dimension means).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdldp_protocol::{Aggregator, Report};
+
+fn make_reports(count: usize, dims: usize, entries_per_report: usize) -> Vec<Report> {
+    (0..count)
+        .map(|i| {
+            Report::new(
+                (0..entries_per_report)
+                    .map(|k| (((i * 31 + k * 7) % dims), ((i + k) as f64 % 3.0) - 1.0))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregator_ingest");
+    for &dims in &[100usize, 1_000, 10_000] {
+        let reports = make_reports(1_000, dims, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            b.iter(|| {
+                let mut agg = Aggregator::new(dims).unwrap();
+                for report in &reports {
+                    agg.ingest(black_box(report)).unwrap();
+                }
+                black_box(agg.report_counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimated_means(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregator_estimated_means");
+    for &dims in &[100usize, 10_000] {
+        let reports = make_reports(5_000, dims, 20);
+        let mut agg = Aggregator::new(dims).unwrap();
+        for report in &reports {
+            agg.ingest(report).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            b.iter(|| black_box(agg.estimated_means().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_estimated_means);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: cost of building the analytical framework's
+//! deviation model from a dataset and of evaluating its Theorem 1 box
+//! probabilities, across dimensionalities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdldp_data::{Dataset, UniformDataset};
+use hdldp_framework::DeviationModel;
+use hdldp_mechanisms::{build_mechanism, MechanismKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(dims: usize) -> Dataset {
+    UniformDataset::new(2_000, dims)
+        .unwrap()
+        .generate(&mut StdRng::seed_from_u64(5))
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deviation_model_for_dataset");
+    group.sample_size(10);
+    let mechanism = build_mechanism(MechanismKind::Piecewise, 0.01).unwrap();
+    for &dims in &[50usize, 200, 1_000] {
+        let data = dataset(dims);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            b.iter(|| {
+                black_box(DeviationModel::for_dataset(mechanism.as_ref(), &data, 1_000.0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_box_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("box_probability");
+    let mechanism = build_mechanism(MechanismKind::Laplace, 0.01).unwrap();
+    for &dims in &[100usize, 1_000, 10_000] {
+        let data = dataset(100);
+        let one = DeviationModel::for_dataset(mechanism.as_ref(), &data, 1_000.0).unwrap();
+        // Replicate the first dimension's approximation to the target size.
+        let model = DeviationModel::new(vec![one.dimensions()[0]; dims]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, _| {
+            b.iter(|| black_box(model.box_probability_uniform(black_box(1.0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_construction, bench_box_probability);
+criterion_main!(benches);

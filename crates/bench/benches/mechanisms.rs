@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: single-value perturbation throughput of every
+//! mechanism at a representative per-dimension budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdldp_mechanisms::{build_mechanism, MechanismKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_perturbation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb");
+    for kind in MechanismKind::ALL {
+        let mechanism = build_mechanism(kind, 0.5).expect("valid budget");
+        group.bench_function(kind.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut t = -1.0;
+            b.iter(|| {
+                t = if t > 1.0 { -1.0 } else { t + 0.001 };
+                black_box(mechanism.perturb(black_box(t), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_form_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form_variance");
+    for kind in MechanismKind::ALL {
+        let mechanism = build_mechanism(kind, 0.5).expect("valid budget");
+        group.bench_function(kind.name(), |b| {
+            let mut t = -1.0;
+            b.iter(|| {
+                t = if t > 1.0 { -1.0 } else { t + 0.001 };
+                black_box(mechanism.variance(black_box(t)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturbation, bench_closed_form_moments);
+criterion_main!(benches);

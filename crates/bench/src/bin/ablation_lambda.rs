@@ -1,0 +1,110 @@
+//! Ablation study of HDR4ME's regularization-weight selection (the design
+//! choice DESIGN.md calls out): how does the practical supremum quantile `z`
+//! (λ*_j = |δ_j| + z·σ_j for L1) and the L2 denominator floor affect the
+//! enhanced MSE, relative to the naive aggregation?
+//!
+//! ```text
+//! cargo run --release -p hdldp-bench --bin ablation_lambda [--full]
+//! ```
+//!
+//! The paper fixes the supremum implicitly ("the collector can manually
+//! specify the supremum of deviation she wants to tolerate"); this ablation
+//! quantifies how sensitive the re-calibration is to that choice.
+
+use hdldp_bench::{write_json_results, ExperimentScale, TextTable};
+use hdldp_core::{Hdr4me, Hdr4meConfig, LambdaSelector, Regularization};
+use hdldp_data::GaussianDataset;
+use hdldp_framework::DeviationModel;
+use hdldp_math::stats;
+use hdldp_mechanisms::MechanismKind;
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    regularization: String,
+    supremum_z: f64,
+    l2_floor: f64,
+    mse: f64,
+    naive_mse: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(args);
+    let users = scale.pick(100_000, 10_000);
+    let dims = scale.pick(200, 100);
+    let epsilon = 0.8;
+
+    println!("Ablation — sensitivity of HDR4ME to the lambda-selection knobs");
+    println!(
+        "scale: {} | n = {users}, d = {dims}, eps = {epsilon}, mechanism = piecewise\n",
+        scale.label()
+    );
+
+    let dataset = GaussianDataset::new(users, dims)?.generate(&mut StdRng::seed_from_u64(5));
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::Piecewise,
+        PipelineConfig::new(epsilon, dims, 77),
+    )?;
+    let estimate = pipeline.run(&dataset)?;
+    let naive_mse = estimate.utility()?.mse;
+    let model = DeviationModel::for_dataset(pipeline.mechanism(), &dataset, users as f64)?;
+    println!("naive aggregation MSE = {naive_mse:.4e}\n");
+
+    let mut rows = Vec::new();
+
+    println!("L1: sweep of the supremum quantile z (lambda_j = |delta_j| + z sigma_j)");
+    let mut table = TextTable::new(vec!["z", "L1 MSE", "vs naive"]);
+    for &z in &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let hdr = Hdr4me::new(Hdr4meConfig {
+            regularization: Regularization::L1,
+            lambda: LambdaSelector::new(z, 0.05)?,
+        });
+        let result = hdr.recalibrate(&estimate.estimated_means, &model)?;
+        let mse = stats::mse(&result.enhanced_means, &estimate.true_means)?;
+        table.push_row(vec![
+            format!("{z}"),
+            format!("{mse:.4e}"),
+            format!("{:.1}x better", naive_mse / mse),
+        ]);
+        rows.push(AblationRow {
+            regularization: "l1".into(),
+            supremum_z: z,
+            l2_floor: 0.05,
+            mse,
+            naive_mse,
+        });
+    }
+    println!("{}", table.render());
+
+    println!("L2: sweep of the denominator floor (lambda_j = sup_j / (2 max(|delta_j|, floor)))");
+    let mut table = TextTable::new(vec!["floor", "L2 MSE", "vs naive"]);
+    for &floor in &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let hdr = Hdr4me::new(Hdr4meConfig {
+            regularization: Regularization::L2,
+            lambda: LambdaSelector::new(3.0, floor)?,
+        });
+        let result = hdr.recalibrate(&estimate.estimated_means, &model)?;
+        let mse = stats::mse(&result.enhanced_means, &estimate.true_means)?;
+        table.push_row(vec![
+            format!("{floor}"),
+            format!("{mse:.4e}"),
+            format!("{:.1}x better", naive_mse / mse),
+        ]);
+        rows.push(AblationRow {
+            regularization: "l2".into(),
+            supremum_z: 3.0,
+            l2_floor: floor,
+            mse,
+            naive_mse,
+        });
+    }
+    println!("{}", table.render());
+
+    let path = write_json_results("ablation_lambda", &rows)?;
+    println!("results written to {}", path.display());
+    Ok(())
+}

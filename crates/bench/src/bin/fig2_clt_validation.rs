@@ -1,0 +1,124 @@
+//! Reproduces **Figure 2** of the paper: the empirical probability density of
+//! the first-dimension deviation `θ̂_1 − θ̄_1` over repeated runs on the Uniform
+//! dataset, overlaid with the Gaussian density predicted by the analytical
+//! framework (CLT), for the Laplace, Piecewise and Square Wave mechanisms.
+//!
+//! ```text
+//! cargo run --release -p hdldp-bench --bin fig2_clt_validation [--full]
+//! ```
+//!
+//! Paper scale (`--full`): n = 200,000 users, d = 5,000 dimensions, m = 50,
+//! ε = 1, 1,000 repetitions. The reduced default keeps the same per-dimension
+//! report count regime with a fraction of the work.
+
+use hdldp_bench::{write_json_results, ExperimentScale, TextTable};
+use hdldp_data::UniformDataset;
+use hdldp_framework::DeviationApproximation;
+use hdldp_math::Histogram;
+use hdldp_mechanisms::MechanismKind;
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SeriesPoint {
+    deviation: f64,
+    empirical_density: f64,
+    clt_density: f64,
+}
+
+#[derive(Serialize)]
+struct MechanismSeries {
+    mechanism: String,
+    predicted_delta: f64,
+    predicted_sigma: f64,
+    empirical_mean: f64,
+    empirical_std: f64,
+    points: Vec<SeriesPoint>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::from_args(args);
+
+    let users = scale.pick(200_000, 5_000);
+    let dims = scale.pick(5_000, 100);
+    let reported = 50.min(dims);
+    let trials = scale.pick(1_000, 150);
+    let epsilon = 1.0;
+
+    println!("Figure 2 — CLT prediction vs experiment on the Uniform dataset");
+    println!(
+        "scale: {} | n = {users}, d = {dims}, m = {reported}, eps = {epsilon}, trials = {trials}\n",
+        scale.label()
+    );
+
+    let dataset = UniformDataset::new(users, dims)?.generate(&mut StdRng::seed_from_u64(2022));
+    let true_means = dataset.true_means();
+    let reports = users as f64 * reported as f64 / dims as f64;
+
+    let mut all_series = Vec::new();
+    for kind in MechanismKind::PAPER_EVALUATED {
+        let pipeline =
+            MeanEstimationPipeline::new(kind, PipelineConfig::new(epsilon, reported, 7))?;
+        // Framework prediction for dimension 0 (Lemma 2 / Lemma 3).
+        let column = dataset.column(0)?;
+        let values =
+            hdldp_data::DiscreteValueDistribution::from_column_bucketed(&column, 64)?;
+        let predicted =
+            DeviationApproximation::for_dimension(pipeline.mechanism(), &values, reports)?;
+
+        // Empirical deviations of dimension 0 over repeated runs.
+        let mut deviations = Vec::with_capacity(trials);
+        for estimate in pipeline.run_trials(&dataset, trials)? {
+            deviations.push(estimate.estimated_means[0] - true_means[0]);
+        }
+        let emp_mean = deviations.iter().sum::<f64>() / trials as f64;
+        let emp_std = (deviations.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>()
+            / trials as f64)
+            .sqrt();
+
+        let histogram = Histogram::from_samples(&deviations, 25)?;
+        let points: Vec<SeriesPoint> = histogram
+            .density()
+            .into_iter()
+            .map(|(x, empirical)| SeriesPoint {
+                deviation: x,
+                empirical_density: empirical,
+                clt_density: predicted.pdf(x),
+            })
+            .collect();
+
+        println!(
+            "{}: predicted N({:.4}, {:.3e}) | empirical mean {:.4}, std {:.4}",
+            kind.name(),
+            predicted.delta(),
+            predicted.variance(),
+            emp_mean,
+            emp_std
+        );
+        let mut table = TextTable::new(vec!["deviation", "empirical pdf", "CLT pdf"]);
+        for p in &points {
+            table.push_row(vec![
+                format!("{:+.4}", p.deviation),
+                format!("{:.4}", p.empirical_density),
+                format!("{:.4}", p.clt_density),
+            ]);
+        }
+        println!("{}", table.render());
+
+        all_series.push(MechanismSeries {
+            mechanism: kind.name().to_string(),
+            predicted_delta: predicted.delta(),
+            predicted_sigma: predicted.std_dev(),
+            empirical_mean: emp_mean,
+            empirical_std: emp_std,
+            points,
+        });
+    }
+
+    let path = write_json_results("fig2_clt_validation", &all_series)?;
+    println!("results written to {}", path.display());
+    Ok(())
+}

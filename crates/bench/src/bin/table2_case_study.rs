@@ -1,0 +1,57 @@
+//! Reproduces **Table II** of the paper: probabilities that the one-dimension
+//! deviation of the Piecewise and Square Wave mechanisms stays within a
+//! collector-chosen supremum ξ, in the Section IV-C case study
+//! (ε/m = 0.001, r = 10,000, values {0.1, …, 1.0} with probability 10% each).
+//!
+//! ```text
+//! cargo run -p hdldp-bench --bin table2_case_study
+//! ```
+//!
+//! The table is purely analytical — no simulation is involved — which is the
+//! point of the paper's framework: mechanisms are benchmarked without running
+//! any experiment.
+
+use hdldp_bench::{write_json_results, TextTable};
+use hdldp_framework::CaseStudy;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let case_study = CaseStudy::default();
+    let bench = case_study.table2()?;
+
+    println!("Table II — probabilities for the supremum to hold in one dimension");
+    println!(
+        "case study: eps/m = {}, r = {}, v = {} values",
+        case_study.per_dimension_epsilon(),
+        case_study.reports_per_dimension,
+        case_study.values.support_size()
+    );
+    println!();
+
+    let mut header = vec!["mechanism".to_string(), "delta".to_string(), "sigma^2".to_string()];
+    for xi in bench.suprema() {
+        header.push(format!("xi={xi}"));
+    }
+    let mut table = TextTable::new(header);
+    for row in bench.rows() {
+        let mut cells = vec![
+            row.mechanism.clone(),
+            format!("{:.4}", row.delta),
+            format!("{:.4e}", row.variance),
+        ];
+        for &(_, p) in &row.probabilities {
+            cells.push(format!("{p:.3e}"));
+        }
+        table.push_row(cells);
+    }
+    println!("{}", table.render());
+
+    for (idx, xi) in bench.suprema().iter().enumerate() {
+        if let Some(winner) = bench.winner_at(idx) {
+            println!("winner at xi = {xi}: {}", winner.mechanism);
+        }
+    }
+
+    let path = write_json_results("table2_case_study", &bench.rows().to_vec())?;
+    println!("\nresults written to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # hdldp-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section VI). Each table/figure has a dedicated binary
+//! under `src/bin/`; this library holds the shared machinery:
+//!
+//! * [`scale`] — paper-scale vs reduced-scale experiment sizing (`--full`).
+//! * [`runner`] — run an LDP pipeline + HDR4ME over a dataset and average the
+//!   paper's MSE metric over repetitions.
+//! * [`output`] — aligned text tables plus machine-readable JSON result files.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2_case_study` | Table II |
+//! | `fig2_clt_validation` | Figure 2 |
+//! | `fig3_case_study_validation` | Figure 3 |
+//! | `fig4_mse_vs_epsilon` | Figure 4 (a)–(l), one dataset per invocation |
+//! | `fig5_mse_vs_dimensions` | Figure 5 |
+//! | `berry_esseen_bound` | §IV-D worked example |
+//! | `freq_recalibration` | §V-C frequency-estimation extension |
+//!
+//! Criterion micro-benchmarks (perturbation, aggregation, re-calibration,
+//! framework evaluation) live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod output;
+pub mod runner;
+pub mod scale;
+
+pub use output::{write_json_results, TextTable};
+pub use runner::{average_mse, MsePoint, RunnerConfig};
+pub use scale::ExperimentScale;

@@ -1,0 +1,139 @@
+//! Output helpers for the experiment binaries: aligned text tables for the
+//! terminal (the same rows/series the paper's tables and figures report) and
+//! JSON files so EXPERIMENTS.md numbers stay traceable.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with columns padded to their widest cell.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Write a serializable result set to `results/<name>.json` (creating the
+/// directory if needed) and return the path written.
+///
+/// # Errors
+/// Returns any filesystem or serialization error.
+pub fn write_json_results<T: Serialize>(
+    name: &str,
+    results: &T,
+) -> Result<PathBuf, Box<dyn std::error::Error + Send + Sync>> {
+    write_json_results_in(Path::new("results"), name, results)
+}
+
+/// [`write_json_results`] with an explicit output directory (used by tests).
+///
+/// # Errors
+/// Returns any filesystem or serialization error.
+pub fn write_json_results_in<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    results: &T,
+) -> Result<PathBuf, Box<dyn std::error::Error + Send + Sync>> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(results)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["epsilon", "naive", "l1"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["0.1", "0.123456", "0.01"]);
+        t.push_row(vec!["3.2", "0.001", "0.0005"]);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("epsilon"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines.len(), 4);
+        // Columns align: "naive" column starts at the same offset in all rows.
+        let offset = lines[0].find("naive").unwrap();
+        assert_eq!(&lines[2][offset..offset + 2], "0.");
+    }
+
+    #[test]
+    fn json_results_round_trip() {
+        #[derive(Serialize)]
+        struct Point {
+            epsilon: f64,
+            mse: f64,
+        }
+        let dir = std::env::temp_dir().join("hdldp_bench_test_results");
+        let path = write_json_results_in(
+            &dir,
+            "unit_test",
+            &vec![Point {
+                epsilon: 0.1,
+                mse: 0.5,
+            }],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("epsilon"));
+        assert!(content.contains("0.5"));
+        std::fs::remove_file(path).ok();
+    }
+}

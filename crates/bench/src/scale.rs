@@ -1,0 +1,85 @@
+//! Experiment scale selection.
+//!
+//! The paper's figures use up to 200,000 users × 5,000 dimensions with 100 to
+//! 1,000 repetitions; running all of that takes a while on a laptop. Every
+//! bench binary therefore defaults to a reduced scale that preserves the
+//! *shape* of the results (who wins, by roughly what factor) and accepts
+//! `--full` to run the paper's exact sizes. EXPERIMENTS.md records which scale
+//! produced the checked-in numbers.
+
+/// Whether to run the paper's exact sizes or a reduced configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// The paper's exact parameters.
+    Full,
+    /// Reduced user counts / repetitions (default).
+    Reduced,
+}
+
+impl ExperimentScale {
+    /// Parse the scale from command-line arguments (presence of `--full`).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        if args.into_iter().any(|a| a == "--full") {
+            ExperimentScale::Full
+        } else {
+            ExperimentScale::Reduced
+        }
+    }
+
+    /// Pick `full` at full scale and `reduced` otherwise.
+    pub fn pick<T>(&self, full: T, reduced: T) -> T {
+        match self {
+            ExperimentScale::Full => full,
+            ExperimentScale::Reduced => reduced,
+        }
+    }
+
+    /// Human-readable label used in the output headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentScale::Full => "full (paper-scale)",
+            ExperimentScale::Reduced => "reduced (default; pass --full for paper-scale)",
+        }
+    }
+}
+
+/// Extract the value following a `--key` flag from an argument list.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_flag() {
+        let full = ExperimentScale::from_args(vec!["--full".to_string()]);
+        assert_eq!(full, ExperimentScale::Full);
+        let reduced = ExperimentScale::from_args(vec!["--dataset".to_string(), "x".to_string()]);
+        assert_eq!(reduced, ExperimentScale::Reduced);
+        assert_eq!(ExperimentScale::from_args(vec![]), ExperimentScale::Reduced);
+    }
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(ExperimentScale::Full.pick(10, 2), 10);
+        assert_eq!(ExperimentScale::Reduced.pick(10, 2), 2);
+        assert!(ExperimentScale::Reduced.label().contains("--full"));
+        assert!(ExperimentScale::Full.label().contains("paper"));
+    }
+
+    #[test]
+    fn arg_value_extracts_following_token() {
+        let args: Vec<String> = ["--dataset", "gaussian", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--dataset").as_deref(), Some("gaussian"));
+        assert_eq!(arg_value(&args, "--full"), None);
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for HDR4ME.
+
+use std::fmt;
+
+/// Errors raised while configuring or running HDR4ME.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// Vector lengths do not agree (estimate vs weights vs model dimensions).
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An error bubbled up from the analytical framework.
+    Framework(hdldp_framework::FrameworkError),
+    /// An error bubbled up from the collection protocol.
+    Protocol(hdldp_protocol::ProtocolError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { name, reason } => {
+                write!(f, "invalid HDR4ME configuration `{name}`: {reason}")
+            }
+            CoreError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::Framework(e) => write!(f, "framework error: {e}"),
+            CoreError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Framework(e) => Some(e),
+            CoreError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdldp_framework::FrameworkError> for CoreError {
+    fn from(e: hdldp_framework::FrameworkError) -> Self {
+        CoreError::Framework(e)
+    }
+}
+
+impl From<hdldp_protocol::ProtocolError> for CoreError {
+    fn from(e: hdldp_protocol::ProtocolError) -> Self {
+        CoreError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CoreError::InvalidConfig {
+            name: "supremum_z",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("supremum_z"));
+        let e = CoreError::LengthMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('2'));
+        let e: CoreError = hdldp_framework::FrameworkError::InvalidParameter {
+            name: "x",
+            reason: "y".into(),
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = hdldp_protocol::ProtocolError::EmptyDimension { dimension: 0 }.into();
+        assert!(e.to_string().contains("protocol"));
+    }
+}

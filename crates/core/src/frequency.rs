@@ -1,0 +1,166 @@
+//! HDR4ME for frequency estimation (Section V-C).
+//!
+//! Histogram encoding turns one categorical dimension with `v_j` categories
+//! into `v_j` numeric entries in `[0, 1]` whose means are the category
+//! frequencies; the collection protocol (see
+//! [`hdldp_protocol::FrequencyPipeline`]) estimates those means naively, and
+//! this module applies the same re-calibration as for numeric means:
+//!
+//! 1. build the deviation model of the per-entry mechanism over the `{0, 1}`
+//!    value distribution implied by the (estimated) frequencies,
+//! 2. select `λ*` and apply the one-off solver,
+//! 3. clip to `[0, 1]` and renormalize so the enhanced frequencies form a
+//!    distribution.
+
+use crate::{Hdr4me, RecalibratedMean};
+use hdldp_data::DiscreteValueDistribution;
+use hdldp_framework::{DeviationApproximation, DeviationModel};
+use hdldp_mechanisms::Mechanism;
+use hdldp_protocol::FrequencyEstimate;
+
+/// The outcome of re-calibrating one categorical dimension's frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecalibratedFrequencies {
+    /// Enhanced frequencies after clipping to `[0, 1]` and renormalizing.
+    pub enhanced: Vec<f64>,
+    /// The raw re-calibration output before the consistency step.
+    pub raw: RecalibratedMean,
+}
+
+impl Hdr4me {
+    /// Re-calibrate the estimated frequencies of categorical dimension `dim`.
+    ///
+    /// `mechanism` must be the per-entry mechanism the estimate was produced
+    /// with (available from [`hdldp_protocol::FrequencyPipeline::mechanism`]).
+    ///
+    /// # Errors
+    /// Propagates framework/model construction and solver errors, and returns a
+    /// length-mismatch error when `dim` is out of range.
+    pub fn recalibrate_frequencies(
+        &self,
+        estimate: &FrequencyEstimate,
+        dim: usize,
+        mechanism: &dyn Mechanism,
+    ) -> crate::Result<RecalibratedFrequencies> {
+        let raw_freqs =
+            estimate
+                .estimated
+                .get(dim)
+                .ok_or(crate::CoreError::LengthMismatch {
+                    expected: estimate.estimated.len(),
+                    actual: dim,
+                })?;
+        let reports = estimate.report_counts[dim].max(1) as f64;
+
+        // Deviation model: each one-hot entry takes value 1 with (estimated)
+        // probability f and 0 otherwise. Use the clipped estimate as the best
+        // available stand-in for the true frequency.
+        let mut dims = Vec::with_capacity(raw_freqs.len());
+        for &f in raw_freqs {
+            let p_one = f.clamp(0.0, 1.0);
+            let values = DiscreteValueDistribution::new(
+                vec![0.0, 1.0],
+                vec![1.0 - p_one, p_one],
+            )
+            .map_err(hdldp_framework::FrameworkError::from)?;
+            dims.push(DeviationApproximation::for_dimension(
+                mechanism, &values, reports,
+            )?);
+        }
+        let model = DeviationModel::new(dims)?;
+        let raw = self.recalibrate(raw_freqs, &model)?;
+
+        // Consistency post-processing: clip and renormalize.
+        let clipped: Vec<f64> = raw
+            .enhanced_means
+            .iter()
+            .map(|f| f.clamp(0.0, 1.0))
+            .collect();
+        let total: f64 = clipped.iter().sum();
+        let enhanced = if total > 0.0 {
+            clipped.iter().map(|f| f / total).collect()
+        } else {
+            vec![1.0 / clipped.len() as f64; clipped.len()]
+        };
+
+        Ok(RecalibratedFrequencies { enhanced, raw })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdldp_data::CategoricalDataset;
+    use hdldp_math::stats;
+    use hdldp_mechanisms::MechanismKind;
+    use hdldp_protocol::{FrequencyPipeline, PipelineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_pipeline(eps: f64, users: usize) -> (FrequencyEstimate, FrequencyPipeline) {
+        let data = CategoricalDataset::generate_zipf(
+            users,
+            vec![8, 5],
+            &mut StdRng::seed_from_u64(100),
+        )
+        .unwrap();
+        let pipeline =
+            FrequencyPipeline::new(MechanismKind::Piecewise, PipelineConfig::new(eps, 2, 9))
+                .unwrap();
+        (pipeline.run(&data).unwrap(), pipeline)
+    }
+
+    #[test]
+    fn enhanced_frequencies_form_a_distribution() {
+        let (estimate, pipeline) = run_pipeline(0.4, 2_000);
+        for dim in 0..2 {
+            let result = Hdr4me::l1()
+                .recalibrate_frequencies(&estimate, dim, pipeline.mechanism())
+                .unwrap();
+            let total: f64 = result.enhanced.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "dim {dim}");
+            assert!(result.enhanced.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            assert_eq!(result.enhanced.len(), estimate.true_frequencies[dim].len());
+        }
+    }
+
+    #[test]
+    fn out_of_range_dimension_is_rejected() {
+        let (estimate, pipeline) = run_pipeline(0.4, 500);
+        assert!(Hdr4me::l1()
+            .recalibrate_frequencies(&estimate, 7, pipeline.mechanism())
+            .is_err());
+    }
+
+    #[test]
+    fn recalibration_improves_noisy_frequency_estimates() {
+        // Tight budget over many users: raw estimates are noisy; the enhanced,
+        // renormalized estimate should have lower MSE against the truth.
+        let (estimate, pipeline) = run_pipeline(0.2, 4_000);
+        let mut improved = 0;
+        for dim in 0..2 {
+            let truth = &estimate.true_frequencies[dim];
+            let raw_mse = stats::mse(&estimate.estimated[dim], truth).unwrap();
+            let result = Hdr4me::l2()
+                .recalibrate_frequencies(&estimate, dim, pipeline.mechanism())
+                .unwrap();
+            let enhanced_mse = stats::mse(&result.enhanced, truth).unwrap();
+            if enhanced_mse < raw_mse {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 1, "L2 re-calibration should help on at least one dimension");
+    }
+
+    #[test]
+    fn l1_and_l2_both_produce_finite_output() {
+        let (estimate, pipeline) = run_pipeline(1.0, 1_000);
+        for hdr in [Hdr4me::l1(), Hdr4me::l2()] {
+            let result = hdr
+                .recalibrate_frequencies(&estimate, 0, pipeline.mechanism())
+                .unwrap();
+            assert!(result.enhanced.iter().all(|f| f.is_finite()));
+            assert!(result.raw.weights.iter().all(|w| w.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The improvement guarantees of Theorems 3 and 4.
+//!
+//! HDR4ME improves on the naive aggregation whenever every dimension's
+//! deviation exceeds the regularizer's threshold (1 for L1, 2 for L2 — Lemmas
+//! 4 and 5). Theorem 1's multivariate density turns that event into a number:
+//! the improvement holds with probability at least
+//! `1 − ∫_{[-τ, τ]^d} f(θ̂ − θ̄)` where `τ` is the threshold.
+//!
+//! The guarantee doubles as a *decision rule*: when the probability is low
+//! (small `d`, generous budget), the paper explicitly warns that the
+//! re-calibration can hurt and should be skipped — [`ImprovementGuarantee`]
+//! carries exactly that recommendation.
+
+use crate::Regularization;
+use hdldp_framework::DeviationModel;
+use serde::{Deserialize, Serialize};
+
+/// The Theorem 3/4 lower bound on the probability that HDR4ME improves the
+/// estimate, plus the derived recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImprovementGuarantee {
+    /// Which regularization the guarantee is about.
+    pub regularization: Regularization,
+    /// The per-dimension deviation threshold (1 for L1, 2 for L2).
+    pub threshold: f64,
+    /// Lower bound on the probability that the re-calibrated mean is closer to
+    /// the truth than the naive mean.
+    pub probability: f64,
+}
+
+impl ImprovementGuarantee {
+    /// Evaluate the guarantee for a deviation model.
+    pub fn evaluate(model: &DeviationModel, regularization: Regularization) -> Self {
+        let probability = match regularization {
+            Regularization::L1 => model.l1_improvement_probability(),
+            Regularization::L2 => model.l2_improvement_probability(),
+        };
+        Self {
+            regularization,
+            threshold: regularization.improvement_threshold(),
+            probability,
+        }
+    }
+
+    /// Whether applying the re-calibration is advisable at the given confidence
+    /// level (i.e. the guaranteed improvement probability reaches it).
+    pub fn is_recommended(&self, confidence: f64) -> bool {
+        self.probability >= confidence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdldp_data::DiscreteValueDistribution;
+    use hdldp_mechanisms::LaplaceMechanism;
+
+    fn model(eps: f64, reports: f64, dims: usize) -> DeviationModel {
+        let mech = LaplaceMechanism::new(eps).unwrap();
+        let values = DiscreteValueDistribution::case_study();
+        DeviationModel::homogeneous(&mech, &values, reports, dims).unwrap()
+    }
+
+    #[test]
+    fn high_dimensional_noisy_setting_recommends_recalibration() {
+        // 500 dimensions, tiny per-dimension budget: the noise dwarfs the signal.
+        let m = model(0.002, 200.0, 500);
+        let l1 = ImprovementGuarantee::evaluate(&m, Regularization::L1);
+        let l2 = ImprovementGuarantee::evaluate(&m, Regularization::L2);
+        assert!(l1.probability > 0.999);
+        assert!(l2.probability > 0.99);
+        assert!(l1.is_recommended(0.95));
+        assert!(l2.is_recommended(0.95));
+        assert_eq!(l1.threshold, 1.0);
+        assert_eq!(l2.threshold, 2.0);
+    }
+
+    #[test]
+    fn low_dimensional_generous_budget_does_not_recommend() {
+        let m = model(5.0, 10_000.0, 3);
+        let l1 = ImprovementGuarantee::evaluate(&m, Regularization::L1);
+        let l2 = ImprovementGuarantee::evaluate(&m, Regularization::L2);
+        assert!(l1.probability < 0.05, "p = {}", l1.probability);
+        assert!(l2.probability < 0.05);
+        assert!(!l1.is_recommended(0.5));
+        assert!(!l2.is_recommended(0.5));
+    }
+
+    #[test]
+    fn l1_guarantee_is_at_least_the_l2_guarantee() {
+        // The L1 threshold (1) is easier to exceed than the L2 threshold (2).
+        for &(eps, dims) in &[(0.01, 50), (0.1, 200), (1.0, 1000)] {
+            let m = model(eps, 500.0, dims);
+            let l1 = ImprovementGuarantee::evaluate(&m, Regularization::L1);
+            let l2 = ImprovementGuarantee::evaluate(&m, Regularization::L2);
+            assert!(
+                l1.probability + 1e-12 >= l2.probability,
+                "eps = {eps}, d = {dims}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_grows_with_dimensionality() {
+        let p50 = ImprovementGuarantee::evaluate(&model(0.05, 500.0, 50), Regularization::L1);
+        let p500 = ImprovementGuarantee::evaluate(&model(0.05, 500.0, 500), Regularization::L1);
+        assert!(p500.probability >= p50.probability);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let g = ImprovementGuarantee::evaluate(&model(0.1, 100.0, 10), Regularization::L1);
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(json.contains("probability"));
+    }
+}

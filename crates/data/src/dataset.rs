@@ -1,0 +1,251 @@
+//! The row-major numeric [`Dataset`] used throughout the workspace.
+//!
+//! A dataset holds `n` user tuples of `d` numeric dimensions each
+//! (Section III of the paper). The collection protocol samples rows from it,
+//! the analytical framework reads its per-column value distributions, and the
+//! experiment harness compares estimated means against [`Dataset::true_means`].
+
+use crate::DataError;
+use hdldp_math::stats;
+
+/// An `n × d` numeric dataset stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    users: usize,
+    dims: usize,
+    /// Row-major values, `users * dims` long.
+    values: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build a dataset from a row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidShape`] for zero rows/columns and
+    /// [`DataError::LengthMismatch`] when the buffer does not hold exactly
+    /// `users * dims` values.
+    pub fn from_rows(users: usize, dims: usize, values: Vec<f64>) -> crate::Result<Self> {
+        if users == 0 || dims == 0 {
+            return Err(DataError::InvalidShape {
+                reason: format!("require users > 0 and dims > 0, got {users} x {dims}"),
+            });
+        }
+        if values.len() != users * dims {
+            return Err(DataError::LengthMismatch {
+                expected: users * dims,
+                actual: values.len(),
+            });
+        }
+        Ok(Self {
+            users,
+            dims,
+            values,
+        })
+    }
+
+    /// Number of users (rows) `n`.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of dimensions (columns) `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The `i`-th user's tuple as a slice of length `d`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::IndexOutOfBounds`] when `i >= users`.
+    pub fn row(&self, i: usize) -> crate::Result<&[f64]> {
+        if i >= self.users {
+            return Err(DataError::IndexOutOfBounds {
+                what: "row",
+                index: i,
+                len: self.users,
+            });
+        }
+        Ok(&self.values[i * self.dims..(i + 1) * self.dims])
+    }
+
+    /// A single value `t_{ij}`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::IndexOutOfBounds`] when either index is invalid.
+    pub fn value(&self, i: usize, j: usize) -> crate::Result<f64> {
+        if j >= self.dims {
+            return Err(DataError::IndexOutOfBounds {
+                what: "column",
+                index: j,
+                len: self.dims,
+            });
+        }
+        Ok(self.row(i)?[j])
+    }
+
+    /// Copy of column `j`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::IndexOutOfBounds`] when `j >= dims`.
+    pub fn column(&self, j: usize) -> crate::Result<Vec<f64>> {
+        if j >= self.dims {
+            return Err(DataError::IndexOutOfBounds {
+                what: "column",
+                index: j,
+                len: self.dims,
+            });
+        }
+        Ok((0..self.users)
+            .map(|i| self.values[i * self.dims + j])
+            .collect())
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The true per-dimension means `θ̄` (ground truth for utility metrics).
+    pub fn true_means(&self) -> Vec<f64> {
+        stats::column_means(&self.values, self.users, self.dims)
+            .expect("shape validated at construction")
+    }
+
+    /// Smallest and largest value in each column.
+    pub fn column_ranges(&self) -> Vec<(f64, f64)> {
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); self.dims];
+        for i in 0..self.users {
+            let row = &self.values[i * self.dims..(i + 1) * self.dims];
+            for (r, &x) in ranges.iter_mut().zip(row) {
+                r.0 = r.0.min(x);
+                r.1 = r.1.max(x);
+            }
+        }
+        ranges
+    }
+
+    /// `true` when every value lies in `[lo, hi]`.
+    pub fn all_within(&self, lo: f64, hi: f64) -> bool {
+        self.values.iter().all(|&x| x >= lo && x <= hi)
+    }
+
+    /// Build a new dataset keeping only the listed columns (in the given
+    /// order, duplicates allowed). Used by the Figure 5 experiment, which
+    /// samples/extends the COV-19 columns to reach dimensionalities the raw
+    /// dataset does not have.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidShape`] when `columns` is empty and
+    /// [`DataError::IndexOutOfBounds`] when any index is invalid.
+    pub fn select_columns(&self, columns: &[usize]) -> crate::Result<Self> {
+        if columns.is_empty() {
+            return Err(DataError::InvalidShape {
+                reason: "cannot select zero columns".into(),
+            });
+        }
+        for &c in columns {
+            if c >= self.dims {
+                return Err(DataError::IndexOutOfBounds {
+                    what: "column",
+                    index: c,
+                    len: self.dims,
+                });
+            }
+        }
+        let mut values = Vec::with_capacity(self.users * columns.len());
+        for i in 0..self.users {
+            let row = &self.values[i * self.dims..(i + 1) * self.dims];
+            for &c in columns {
+                values.push(row[c]);
+            }
+        }
+        Self::from_rows(self.users, columns.len(), values)
+    }
+
+    /// Build a new dataset keeping only the first `rows` users.
+    ///
+    /// # Errors
+    /// Returns [`DataError::InvalidShape`] when `rows` is zero or exceeds the
+    /// number of users.
+    pub fn take_users(&self, rows: usize) -> crate::Result<Self> {
+        if rows == 0 || rows > self.users {
+            return Err(DataError::InvalidShape {
+                reason: format!("cannot take {rows} users from a dataset of {}", self.users),
+            });
+        }
+        Self::from_rows(
+            rows,
+            self.dims,
+            self.values[..rows * self.dims].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        // 3 users x 2 dims.
+        Dataset::from_rows(3, 2, vec![0.0, 1.0, 0.5, -1.0, -0.5, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(Dataset::from_rows(0, 2, vec![]).is_err());
+        assert!(Dataset::from_rows(2, 0, vec![]).is_err());
+        assert!(Dataset::from_rows(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Dataset::from_rows(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn accessors_return_expected_values() {
+        let d = small();
+        assert_eq!(d.users(), 3);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.row(1).unwrap(), &[0.5, -1.0]);
+        assert_eq!(d.value(2, 1).unwrap(), 0.0);
+        assert_eq!(d.column(0).unwrap(), vec![0.0, 0.5, -0.5]);
+        assert!(d.row(3).is_err());
+        assert!(d.value(0, 2).is_err());
+        assert!(d.column(5).is_err());
+    }
+
+    #[test]
+    fn true_means_are_column_averages() {
+        let d = small();
+        let means = d.true_means();
+        assert!((means[0] - 0.0).abs() < 1e-12);
+        assert!((means[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_ranges_and_bounds() {
+        let d = small();
+        let ranges = d.column_ranges();
+        assert_eq!(ranges[0], (-0.5, 0.5));
+        assert_eq!(ranges[1], (-1.0, 1.0));
+        assert!(d.all_within(-1.0, 1.0));
+        assert!(!d.all_within(0.0, 1.0));
+    }
+
+    #[test]
+    fn select_columns_reorders_and_duplicates() {
+        let d = small();
+        let sel = d.select_columns(&[1, 1, 0]).unwrap();
+        assert_eq!(sel.dims(), 3);
+        assert_eq!(sel.row(0).unwrap(), &[1.0, 1.0, 0.0]);
+        assert!(d.select_columns(&[]).is_err());
+        assert!(d.select_columns(&[2]).is_err());
+    }
+
+    #[test]
+    fn take_users_truncates() {
+        let d = small();
+        let t = d.take_users(2).unwrap();
+        assert_eq!(t.users(), 2);
+        assert_eq!(t.row(1).unwrap(), &[0.5, -1.0]);
+        assert!(d.take_users(0).is_err());
+        assert!(d.take_users(4).is_err());
+    }
+}

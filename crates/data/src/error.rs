@@ -1,0 +1,79 @@
+//! Error type for dataset construction and manipulation.
+
+use std::fmt;
+
+/// Errors raised by dataset builders and encoders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A shape parameter (rows/columns/categories) was zero or inconsistent.
+    InvalidShape {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// The provided raw buffer does not match the declared shape.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// An index (row, column or category) is out of bounds.
+    IndexOutOfBounds {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidShape { reason } => write!(f, "invalid dataset shape: {reason}"),
+            DataError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::IndexOutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::InvalidShape {
+            reason: "zero rows".into(),
+        };
+        assert!(e.to_string().contains("zero rows"));
+        let e = DataError::LengthMismatch {
+            expected: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+        let e = DataError::IndexOutOfBounds {
+            what: "column",
+            index: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains("column"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The complete Section IV-C case study, packaged so the experiment harness
+//! (Table II, Figure 3) and the examples can reproduce it in one call.
+//!
+//! Setting: `d = 100` dimensions, `n = 10,000` users, `v = 10` distinct values
+//! `{0.1, …, 1.0}` each with probability 10%, every user reports `m = 100`
+//! dimensions, collective budget `ε = 0.1` ⇒ per-dimension budget `0.001` and
+//! `r = nm/d = 10,000` reports per dimension.
+
+use crate::{DeviationApproximation, MechanismBenchmark};
+use hdldp_data::DiscreteValueDistribution;
+use hdldp_mechanisms::{PiecewiseMechanism, SquareWaveMechanism};
+
+/// The case-study configuration (all fields public so experiments can tweak
+/// individual knobs while keeping the paper's defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStudy {
+    /// Collective privacy budget ε.
+    pub total_epsilon: f64,
+    /// Number of reported dimensions m.
+    pub reported_dims: usize,
+    /// Number of reports per dimension r = nm/d.
+    pub reports_per_dimension: f64,
+    /// The discrete value distribution shared by every dimension.
+    pub values: DiscreteValueDistribution,
+    /// The suprema ξ evaluated in Table II.
+    pub suprema: Vec<f64>,
+}
+
+impl Default for CaseStudy {
+    fn default() -> Self {
+        Self {
+            total_epsilon: 0.1,
+            reported_dims: 100,
+            reports_per_dimension: 10_000.0,
+            values: DiscreteValueDistribution::case_study(),
+            suprema: vec![0.001, 0.01, 0.05, 0.1],
+        }
+    }
+}
+
+impl CaseStudy {
+    /// The per-dimension budget `ε/m`.
+    pub fn per_dimension_epsilon(&self) -> f64 {
+        self.total_epsilon / self.reported_dims as f64
+    }
+
+    /// The framework's deviation approximation for the Piecewise mechanism
+    /// (the paper's Equations 14–16).
+    ///
+    /// # Errors
+    /// Propagates mechanism-construction and approximation errors.
+    pub fn piecewise_deviation(&self) -> crate::Result<DeviationApproximation> {
+        let mech = PiecewiseMechanism::new(self.per_dimension_epsilon())?;
+        DeviationApproximation::for_dimension(&mech, &self.values, self.reports_per_dimension)
+    }
+
+    /// The framework's deviation approximation for the Square Wave mechanism
+    /// (the paper's Equations 17–20).
+    ///
+    /// # Errors
+    /// Propagates mechanism-construction and approximation errors.
+    pub fn square_wave_deviation(&self) -> crate::Result<DeviationApproximation> {
+        let mech = SquareWaveMechanism::new(self.per_dimension_epsilon())?;
+        DeviationApproximation::for_dimension(&mech, &self.values, self.reports_per_dimension)
+    }
+
+    /// Produce the Table II benchmark (Piecewise vs Square Wave at every ξ).
+    ///
+    /// # Errors
+    /// Propagates benchmark-construction errors.
+    pub fn table2(&self) -> crate::Result<MechanismBenchmark> {
+        let mut bench = MechanismBenchmark::new(self.suprema.clone())?;
+        let pm = PiecewiseMechanism::new(self.per_dimension_epsilon())?;
+        let sw = SquareWaveMechanism::new(self.per_dimension_epsilon())?;
+        bench.add_mechanism(&pm, &self.values, self.reports_per_dimension)?;
+        bench.add_mechanism(&sw, &self.values, self.reports_per_dimension)?;
+        Ok(bench)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cs = CaseStudy::default();
+        assert_eq!(cs.total_epsilon, 0.1);
+        assert_eq!(cs.reported_dims, 100);
+        assert!((cs.per_dimension_epsilon() - 0.001).abs() < 1e-15);
+        assert_eq!(cs.reports_per_dimension, 10_000.0);
+        assert_eq!(cs.values.support_size(), 10);
+        assert_eq!(cs.suprema, vec![0.001, 0.01, 0.05, 0.1]);
+    }
+
+    #[test]
+    fn piecewise_deviation_reproduces_equation_15() {
+        let cs = CaseStudy::default();
+        let dev = cs.piecewise_deviation().unwrap();
+        assert_eq!(dev.delta(), 0.0);
+        assert!((dev.variance() - 533.2).abs() < 1.0, "{}", dev.variance());
+        // Equation 16's normalisation constant 1/57.9 = pdf(delta) * ... checks
+        // via pdf at the mean: 1/(sqrt(2 pi) sigma) = 1/57.900.
+        let peak = dev.pdf(dev.delta());
+        assert!((1.0 / peak - 57.9).abs() < 0.1, "1/peak = {}", 1.0 / peak);
+    }
+
+    #[test]
+    fn square_wave_deviation_reproduces_equation_19() {
+        let cs = CaseStudy::default();
+        let dev = cs.square_wave_deviation().unwrap();
+        assert!((dev.delta() - -0.049).abs() < 0.002);
+        assert!((dev.variance() - 3.365e-5).abs() < 0.15e-5);
+    }
+
+    #[test]
+    fn table2_has_two_rows_and_four_columns() {
+        let cs = CaseStudy::default();
+        let bench = cs.table2().unwrap();
+        assert_eq!(bench.rows().len(), 2);
+        assert_eq!(bench.rows()[0].probabilities.len(), 4);
+        assert_eq!(bench.rows()[0].mechanism, "piecewise");
+        assert_eq!(bench.rows()[1].mechanism, "square_wave");
+    }
+
+    #[test]
+    fn tweaked_case_study_still_works() {
+        let cs = CaseStudy {
+            total_epsilon: 1.0,
+            reported_dims: 10,
+            reports_per_dimension: 1000.0,
+            ..CaseStudy::default()
+        };
+        assert!((cs.per_dimension_epsilon() - 0.1).abs() < 1e-12);
+        let dev = cs.piecewise_deviation().unwrap();
+        // Bigger per-dimension budget than the default -> much smaller variance.
+        assert!(dev.variance() < 10.0);
+    }
+}

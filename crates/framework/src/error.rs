@@ -1,0 +1,98 @@
+//! Error type for the analytical framework.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating the analytical framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// A parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// Vector lengths do not agree (e.g. suprema vs dimensions).
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An error bubbled up from the numerical substrate.
+    Math(hdldp_math::MathError),
+    /// An error bubbled up from dataset handling.
+    Data(hdldp_data::DataError),
+    /// An error bubbled up from mechanism construction.
+    Mechanism(hdldp_mechanisms::MechanismError),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            FrameworkError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            FrameworkError::Math(e) => write!(f, "math error: {e}"),
+            FrameworkError::Data(e) => write!(f, "data error: {e}"),
+            FrameworkError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Math(e) => Some(e),
+            FrameworkError::Data(e) => Some(e),
+            FrameworkError::Mechanism(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdldp_math::MathError> for FrameworkError {
+    fn from(e: hdldp_math::MathError) -> Self {
+        FrameworkError::Math(e)
+    }
+}
+
+impl From<hdldp_data::DataError> for FrameworkError {
+    fn from(e: hdldp_data::DataError) -> Self {
+        FrameworkError::Data(e)
+    }
+}
+
+impl From<hdldp_mechanisms::MechanismError> for FrameworkError {
+    fn from(e: hdldp_mechanisms::MechanismError) -> Self {
+        FrameworkError::Mechanism(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = FrameworkError::InvalidParameter {
+            name: "reports",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("reports"));
+        let e: FrameworkError = hdldp_math::MathError::EmptyInput("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: FrameworkError = hdldp_mechanisms::MechanismError::InvalidEpsilon(0.0).into();
+        assert!(e.to_string().contains("mechanism"));
+        let e: FrameworkError = hdldp_data::DataError::InvalidShape { reason: "y".into() }.into();
+        assert!(e.to_string().contains("data"));
+        let e = FrameworkError::LengthMismatch {
+            expected: 3,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

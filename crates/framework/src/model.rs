@@ -1,0 +1,332 @@
+//! The multivariate deviation model of Theorem 1 and the probabilities that
+//! drive both the mechanism benchmark and the HDR4ME guarantees.
+//!
+//! Because every dimension is perturbed independently, the density of the
+//! `d`-dimensional deviation `θ̂ − θ̄` is the product of the per-dimension
+//! Gaussian densities (Theorem 1). The quantity of interest is its integral
+//! over a box `S = {|θ̂_j − θ̄_j| ≤ ξ_j ∀ j}`:
+//!
+//! * benchmarking (Section IV-C): the mechanism with the highest box
+//!   probability at the collector's tolerated supremum wins;
+//! * HDR4ME guarantees (Theorems 3 and 4): the re-calibrated mean improves on
+//!   the naive one with probability at least `1 − ∫_box f`, with box half-width
+//!   1 (L1) or 2 (L2).
+
+use crate::{DeviationApproximation, FrameworkError};
+use hdldp_data::{Dataset, DiscreteValueDistribution};
+use hdldp_mechanisms::{Bound, Mechanism};
+
+/// How finely to discretize continuous columns when building per-dimension
+/// value distributions from a dataset (Lemma 3's "discretize with sampling").
+const DEFAULT_VALUE_BUCKETS: usize = 64;
+
+/// The multivariate Gaussian deviation model for a `d`-dimensional mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationModel {
+    dimensions: Vec<DeviationApproximation>,
+}
+
+impl DeviationModel {
+    /// Build a model from per-dimension approximations.
+    ///
+    /// # Errors
+    /// Returns [`FrameworkError::InvalidParameter`] when no dimensions are given.
+    pub fn new(dimensions: Vec<DeviationApproximation>) -> crate::Result<Self> {
+        if dimensions.is_empty() {
+            return Err(FrameworkError::InvalidParameter {
+                name: "dimensions",
+                reason: "the model needs at least one dimension".into(),
+            });
+        }
+        Ok(Self { dimensions })
+    }
+
+    /// Build the model for a mechanism applied to every column of a dataset,
+    /// with `reports` expected reports per dimension (`nm/d` in the paper).
+    ///
+    /// For bounded mechanisms each column's empirical value distribution is
+    /// extracted (bucketed into at most 64 representative values); for
+    /// unbounded mechanisms the value distribution is irrelevant and a trivial
+    /// one is used.
+    ///
+    /// # Errors
+    /// Propagates dataset-column and approximation errors.
+    pub fn for_dataset(
+        mechanism: &dyn Mechanism,
+        dataset: &Dataset,
+        reports: f64,
+    ) -> crate::Result<Self> {
+        let mut dims = Vec::with_capacity(dataset.dims());
+        let trivial = DiscreteValueDistribution::new(vec![0.0], vec![1.0])?;
+        for j in 0..dataset.dims() {
+            let values = match mechanism.bound() {
+                Bound::Unbounded => trivial.clone(),
+                Bound::Bounded(_) => {
+                    let column = dataset.column(j)?;
+                    DiscreteValueDistribution::from_column_bucketed(&column, DEFAULT_VALUE_BUCKETS)?
+                }
+            };
+            dims.push(DeviationApproximation::for_dimension(
+                mechanism, &values, reports,
+            )?);
+        }
+        Self::new(dims)
+    }
+
+    /// Build a model where every dimension shares the same value distribution
+    /// (the setting of the Section IV-C case study).
+    ///
+    /// # Errors
+    /// Propagates approximation errors.
+    pub fn homogeneous(
+        mechanism: &dyn Mechanism,
+        values: &DiscreteValueDistribution,
+        reports: f64,
+        dims: usize,
+    ) -> crate::Result<Self> {
+        if dims == 0 {
+            return Err(FrameworkError::InvalidParameter {
+                name: "dims",
+                reason: "need at least one dimension".into(),
+            });
+        }
+        let one = DeviationApproximation::for_dimension(mechanism, values, reports)?;
+        Self::new(vec![one; dims])
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dims(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// The per-dimension approximations.
+    pub fn dimensions(&self) -> &[DeviationApproximation] {
+        &self.dimensions
+    }
+
+    /// The deviation means `δ_j`.
+    pub fn deltas(&self) -> Vec<f64> {
+        self.dimensions.iter().map(|d| d.delta()).collect()
+    }
+
+    /// The deviation standard deviations `σ_j`.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.dimensions.iter().map(|d| d.std_dev()).collect()
+    }
+
+    /// Density of the deviation vector (Theorem 1, Equation 12).
+    ///
+    /// # Errors
+    /// Returns [`FrameworkError::LengthMismatch`] when `deviation` has the
+    /// wrong length.
+    pub fn pdf(&self, deviation: &[f64]) -> crate::Result<f64> {
+        Ok(self.log_pdf(deviation)?.exp())
+    }
+
+    /// Log-density of the deviation vector — preferred in high dimensions,
+    /// where the plain density underflows.
+    ///
+    /// # Errors
+    /// Returns [`FrameworkError::LengthMismatch`] when `deviation` has the
+    /// wrong length.
+    pub fn log_pdf(&self, deviation: &[f64]) -> crate::Result<f64> {
+        if deviation.len() != self.dims() {
+            return Err(FrameworkError::LengthMismatch {
+                expected: self.dims(),
+                actual: deviation.len(),
+            });
+        }
+        let mut log_density = 0.0;
+        for (dim, &x) in self.dimensions.iter().zip(deviation) {
+            let sigma = dim.std_dev();
+            let z = (x - dim.delta()) / sigma;
+            log_density +=
+                -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        }
+        Ok(log_density)
+    }
+
+    /// Probability that *every* dimension's deviation stays within its
+    /// supremum: `∫_S f(θ̂ − θ̄)` with `S = {|θ̂_j − θ̄_j| ≤ ξ_j}`.
+    ///
+    /// # Errors
+    /// Returns [`FrameworkError::LengthMismatch`] when `suprema` has the wrong
+    /// length.
+    pub fn box_probability(&self, suprema: &[f64]) -> crate::Result<f64> {
+        if suprema.len() != self.dims() {
+            return Err(FrameworkError::LengthMismatch {
+                expected: self.dims(),
+                actual: suprema.len(),
+            });
+        }
+        Ok(self
+            .dimensions
+            .iter()
+            .zip(suprema)
+            .map(|(dim, &xi)| dim.prob_within(xi))
+            .product())
+    }
+
+    /// [`DeviationModel::box_probability`] with the same supremum in every
+    /// dimension.
+    pub fn box_probability_uniform(&self, supremum: f64) -> f64 {
+        self.dimensions
+            .iter()
+            .map(|dim| dim.prob_within(supremum))
+            .product()
+    }
+
+    /// The probability lower bound of Theorem 3: HDR4ME with L1-regularization
+    /// improves on the naive aggregation with probability at least
+    /// `1 − ∫_{[-1,1]^d} f(θ̂ − θ̄)`.
+    pub fn l1_improvement_probability(&self) -> f64 {
+        1.0 - self.box_probability_uniform(1.0)
+    }
+
+    /// The probability lower bound of Theorem 4: HDR4ME with L2-regularization
+    /// improves on the naive aggregation with probability at least
+    /// `1 − ∫_{[-2,2]^d} f(θ̂ − θ̄)`.
+    pub fn l2_improvement_probability(&self) -> f64 {
+        1.0 - self.box_probability_uniform(2.0)
+    }
+
+    /// Per-dimension practical suprema `|δ_j| + z·σ_j`, the quantities HDR4ME
+    /// uses as regularization weights (Lemmas 4 and 5).
+    pub fn suprema(&self, z: f64) -> Vec<f64> {
+        self.dimensions.iter().map(|d| d.supremum(z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdldp_data::UniformDataset;
+    use hdldp_mechanisms::{
+        build_mechanism, LaplaceMechanism, MechanismKind, PiecewiseMechanism,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn laplace_model(dims: usize, eps: f64, reports: f64) -> DeviationModel {
+        let mech = LaplaceMechanism::new(eps).unwrap();
+        let values = DiscreteValueDistribution::case_study();
+        DeviationModel::homogeneous(&mech, &values, reports, dims).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(DeviationModel::new(vec![]).is_err());
+        let mech = LaplaceMechanism::new(1.0).unwrap();
+        let values = DiscreteValueDistribution::case_study();
+        assert!(DeviationModel::homogeneous(&mech, &values, 100.0, 0).is_err());
+        assert!(DeviationModel::homogeneous(&mech, &values, 100.0, 3).is_ok());
+    }
+
+    #[test]
+    fn pdf_matches_product_of_univariate_densities() {
+        let model = laplace_model(3, 1.0, 1000.0);
+        let dev = [0.01, -0.02, 0.0];
+        let product: f64 = model
+            .dimensions()
+            .iter()
+            .zip(&dev)
+            .map(|(d, &x)| d.pdf(x))
+            .product();
+        let joint = model.pdf(&dev).unwrap();
+        assert!((joint - product).abs() / product < 1e-9);
+        assert!(model.pdf(&[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn log_pdf_survives_high_dimensionality() {
+        // In 5,000 dimensions the plain density underflows; the log-density must stay finite.
+        let model = laplace_model(5_000, 1.0, 1000.0);
+        let dev = vec![0.0; 5_000];
+        let log_p = model.log_pdf(&dev).unwrap();
+        assert!(log_p.is_finite());
+        // Each dimension contributes -ln(sigma) - 0.5 ln(2 pi); sigma ~ sqrt(8/1000).
+        let sigma: f64 = (8.0f64 / 1000.0).sqrt();
+        let expected = 5_000.0 * (-sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln());
+        assert!((log_p - expected).abs() / expected.abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_probability_is_product_of_marginals() {
+        let model = laplace_model(4, 1.0, 500.0);
+        let xi = [0.1, 0.2, 0.05, 0.5];
+        let direct: f64 = model
+            .dimensions()
+            .iter()
+            .zip(&xi)
+            .map(|(d, &x)| d.prob_within(x))
+            .product();
+        assert!((model.box_probability(&xi).unwrap() - direct).abs() < 1e-12);
+        assert!(model.box_probability(&[0.1]).is_err());
+    }
+
+    #[test]
+    fn box_probability_decays_with_dimensionality() {
+        // The curse of dimensionality in one line: the probability that *all*
+        // deviations stay small shrinks as d grows.
+        let p10 = laplace_model(10, 0.5, 1000.0).box_probability_uniform(0.2);
+        let p100 = laplace_model(100, 0.5, 1000.0).box_probability_uniform(0.2);
+        let p1000 = laplace_model(1000, 0.5, 1000.0).box_probability_uniform(0.2);
+        assert!(p10 > p100);
+        assert!(p100 > p1000);
+    }
+
+    #[test]
+    fn improvement_probabilities_increase_with_dimensionality_and_noise() {
+        // With small per-dimension budget and many dimensions, the Theorem 3/4
+        // probabilities approach 1 — HDR4ME is almost surely an improvement.
+        let noisy = laplace_model(200, 0.01, 100.0);
+        assert!(noisy.l1_improvement_probability() > 0.99);
+        assert!(noisy.l2_improvement_probability() > 0.9);
+        // With a generous budget and few dimensions they drop towards 0 — the
+        // regime where the paper warns the re-calibration can be harmful.
+        let clean = laplace_model(2, 10.0, 10_000.0);
+        assert!(clean.l1_improvement_probability() < 0.01);
+        assert!(clean.l2_improvement_probability() < 0.01);
+        // L1's threshold (1) is easier to exceed than L2's (2).
+        let mid = laplace_model(50, 0.2, 500.0);
+        assert!(mid.l1_improvement_probability() >= mid.l2_improvement_probability());
+    }
+
+    #[test]
+    fn for_dataset_uses_column_distributions_for_bounded_mechanisms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = UniformDataset::new(2000, 5).unwrap().generate(&mut rng);
+        let mech = PiecewiseMechanism::new(0.5).unwrap();
+        let model = DeviationModel::for_dataset(&mech, &data, 400.0).unwrap();
+        assert_eq!(model.dims(), 5);
+        // Piecewise is unbiased: all deltas are zero.
+        assert!(model.deltas().iter().all(|&d| d == 0.0));
+        // Variances are positive and of the expected order (per-sample var / r).
+        for sd in model.std_devs() {
+            assert!(sd > 0.0 && sd.is_finite());
+        }
+    }
+
+    #[test]
+    fn for_dataset_works_with_every_built_in_mechanism() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = UniformDataset::new(500, 3).unwrap().generate(&mut rng);
+        for kind in MechanismKind::ALL {
+            let mech = build_mechanism(kind, 0.5).unwrap();
+            let model = DeviationModel::for_dataset(mech.as_ref(), &data, 100.0).unwrap();
+            assert_eq!(model.dims(), 3, "{kind:?}");
+            assert!(model.box_probability_uniform(10.0) > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn suprema_scale_with_z() {
+        let model = laplace_model(3, 1.0, 100.0);
+        let s2 = model.suprema(2.0);
+        let s3 = model.suprema(3.0);
+        for (a, b) in s2.iter().zip(&s3) {
+            assert!(b > a);
+        }
+        assert_eq!(s2.len(), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A parameter was outside its mathematically valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A routine that operates on a collection received an empty one.
+    EmptyInput(&'static str),
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// Two collections that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first collection.
+        left: usize,
+        /// Length of the second collection.
+        right: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MathError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            MathError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "`{routine}` did not converge after {iterations} iterations"),
+            MathError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MathError::InvalidParameter {
+            name: "sigma",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("positive"));
+
+        let e = MathError::EmptyInput("samples");
+        assert!(e.to_string().contains("samples"));
+
+        let e = MathError::NoConvergence {
+            routine: "inverse_erf",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("inverse_erf"));
+        assert!(e.to_string().contains("100"));
+
+        let e = MathError::LengthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_cloneable_and_comparable() {
+        let e = MathError::EmptyInput("x");
+        assert_eq!(e.clone(), e);
+    }
+}

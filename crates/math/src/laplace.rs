@@ -1,0 +1,272 @@
+//! The Laplace (double-exponential) distribution.
+//!
+//! The Laplace mechanism — the canonical *unbounded* mechanism in the paper's
+//! taxonomy — perturbs a value `t ∈ [-1, 1]` into `t + Lap(2m/ε)`. This module
+//! provides the distribution itself: pdf, cdf, quantile, inverse-cdf sampling,
+//! variance (`2λ²`) and the third absolute moment (`3λ³`) used by the
+//! Berry–Esseen bound in Theorem 2 (Equation 21 of the paper).
+
+use crate::MathError;
+use rand::Rng;
+
+/// A Laplace distribution centred at `location` with scale `scale` (often `λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    location: f64,
+    scale: f64,
+}
+
+impl Laplace {
+    /// Create a Laplace distribution.
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] if `scale` is not strictly
+    /// positive and finite, or `location` is not finite.
+    pub fn new(location: f64, scale: f64) -> crate::Result<Self> {
+        if !location.is_finite() {
+            return Err(MathError::InvalidParameter {
+                name: "location",
+                reason: format!("must be finite, got {location}"),
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(MathError::InvalidParameter {
+                name: "scale",
+                reason: format!("must be positive and finite, got {scale}"),
+            });
+        }
+        Ok(Self { location, scale })
+    }
+
+    /// Zero-centred Laplace noise with the given scale, as added by the
+    /// Laplace mechanism.
+    pub fn centered(scale: f64) -> crate::Result<Self> {
+        Self::new(0.0, scale)
+    }
+
+    /// The location (mean/median) parameter.
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// The scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance, `2λ²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// The third absolute central moment `E[|X - location|³] = 3! λ³ / 2 · 2 = 3λ³ · 2`?
+    ///
+    /// For the Laplace distribution the k-th absolute central moment is
+    /// `k! · λ^k`, so the third absolute moment equals `6λ³`. The paper's
+    /// Equation 21 works it out as `3λ/2 · E[x²] = 3λ³` *per side* and then the
+    /// full two-sided integral evaluates to `6λ³ / 2 = 3λ³`... The value the
+    /// paper uses downstream is `ρ = 3λ³`; we expose both and unit-test the
+    /// Monte-Carlo value, which confirms `E[|X|³] = 6λ³` for the distribution
+    /// itself. See [`Laplace::third_absolute_moment`] and
+    /// [`Laplace::paper_rho`] for the two conventions.
+    pub fn third_absolute_moment(&self) -> f64 {
+        6.0 * self.scale.powi(3)
+    }
+
+    /// The `ρ` value used in the paper's Berry–Esseen example (Equation 21),
+    /// namely `3λ³`.
+    ///
+    /// The paper evaluates `ρ = (1/λ)∫_0^∞ x³ e^{-x/λ} dx = 3λ·E[x²]/2 = 3λ³`,
+    /// i.e. it keeps the one-sided normalisation. We keep this value as a
+    /// separate accessor so the reproduced §IV-D numeric example matches the
+    /// paper exactly, while [`Laplace::third_absolute_moment`] reports the
+    /// standard two-sided moment.
+    pub fn paper_rho(&self) -> f64 {
+        3.0 * self.scale.powi(3)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.location).abs() / self.scale;
+        (-z).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    /// Quantile function (inverse cdf).
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] when `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> crate::Result<f64> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(MathError::InvalidParameter {
+                name: "p",
+                reason: format!("must lie in [0, 1], got {p}"),
+            });
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        let x = if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 * (1.0 - p)).ln()
+        };
+        Ok(self.location + x)
+    }
+
+    /// Draw one sample via inverse-cdf sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u uniform in (-0.5, 0.5]; the classic closed form.
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        self.location - self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln_1p_safe()
+    }
+
+    /// Draw `n` independent samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Tiny extension trait so the sampling expression stays readable while being
+/// robust when `1 - 2|u|` underflows to exactly zero.
+trait LnSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl LnSafe for f64 {
+    fn ln_1p_safe(self) -> f64 {
+        if self <= 0.0 {
+            // ln(0) = -inf would produce an infinite sample; clamp to the
+            // smallest positive normal instead. The probability of hitting
+            // this branch is ~2^-53 per draw.
+            (f64::MIN_POSITIVE).ln()
+        } else {
+            self.ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::RunningMoments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(f64::INFINITY, 1.0).is_err());
+        assert!(Laplace::centered(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let l = Laplace::new(0.3, 1.7).unwrap();
+        let integral = crate::integrate::simpson(|x| l.pdf(x), -60.0, 60.0, 20_000).unwrap();
+        assert!((integral - 1.0).abs() < 1e-8, "integral = {integral}");
+    }
+
+    #[test]
+    fn pdf_peak_at_location() {
+        let l = Laplace::new(-2.0, 0.5).unwrap();
+        assert!((l.pdf(-2.0) - 1.0).abs() < 1e-12); // 1/(2*0.5)
+        assert!(l.pdf(-2.0) > l.pdf(-1.0));
+        assert!(l.pdf(-2.0) > l.pdf(-3.0));
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        let l = Laplace::new(0.0, 1.0).unwrap();
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((l.cdf(1.0) - (1.0 - 0.5 * (-1.0f64).exp())).abs() < 1e-15);
+        assert!((l.cdf(-1.0) - 0.5 * (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let l = Laplace::new(1.0, 2.5).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            let x = l.quantile(p).unwrap();
+            assert!((l.cdf(x) - p).abs() < 1e-12, "p = {p}");
+        }
+        assert_eq!(l.quantile(0.0).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(l.quantile(1.0).unwrap(), f64::INFINITY);
+        assert!(l.quantile(1.0001).is_err());
+    }
+
+    #[test]
+    fn variance_is_two_lambda_squared() {
+        let l = Laplace::centered(3.0).unwrap();
+        assert!((l.variance() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_theoretical_moments() {
+        let l = Laplace::new(0.5, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut acc = RunningMoments::new();
+        let mut third = 0.0;
+        let n = 400_000;
+        for _ in 0..n {
+            let x = l.sample(&mut rng);
+            acc.push(x);
+            third += (x - 0.5).abs().powi(3);
+        }
+        third /= n as f64;
+        assert!((acc.mean() - 0.5).abs() < 0.02, "mean = {}", acc.mean());
+        assert!(
+            (acc.variance() - 8.0).abs() < 0.2,
+            "variance = {}",
+            acc.variance()
+        );
+        // E|X - mu|^3 = 6 λ^3 = 48.
+        assert!(
+            (third - l.third_absolute_moment()).abs() / l.third_absolute_moment() < 0.05,
+            "third abs moment = {third}"
+        );
+    }
+
+    #[test]
+    fn paper_rho_is_half_the_true_third_moment() {
+        let l = Laplace::centered(2.0).unwrap();
+        assert!((l.paper_rho() * 2.0 - l.third_absolute_moment()).abs() < 1e-12);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn cdf_monotone_and_bounded(scale in 0.01f64..10.0, a in -30.0f64..30.0, b in -30.0f64..30.0) {
+                let l = Laplace::centered(scale).unwrap();
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                prop_assert!(l.cdf(lo) <= l.cdf(hi) + 1e-15);
+                prop_assert!((0.0..=1.0).contains(&l.cdf(a)));
+            }
+
+            #[test]
+            fn samples_are_finite(scale in 0.01f64..100.0, seed in 0u64..1000) {
+                let l = Laplace::centered(scale).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..100 {
+                    prop_assert!(l.sample(&mut rng).is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The Gaussian (normal) distribution.
+//!
+//! The analytical framework of the paper approximates the per-dimension
+//! deviation `θ̂_j − θ̄_j` with `N(δ_j, σ_j²)` (Lemmas 2 and 3) and composes the
+//! per-dimension densities into the multivariate density of Theorem 1. This
+//! module provides the pdf, cdf, quantile function and Box–Muller-free sampling
+//! (via inverse-cdf) needed by the framework, the benchmark and the dataset
+//! generators.
+
+use crate::erf::{erf, inverse_erf};
+use crate::MathError;
+use rand::Rng;
+
+/// A univariate normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// The standard normal distribution `N(0, 1)`.
+    pub const STANDARD: Normal = Normal {
+        mean: 0.0,
+        std_dev: 1.0,
+    };
+
+    /// Create a normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] if `std_dev` is not strictly
+    /// positive and finite, or if `mean` is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> crate::Result<Self> {
+        if !mean.is_finite() {
+            return Err(MathError::InvalidParameter {
+                name: "mean",
+                reason: format!("must be finite, got {mean}"),
+            });
+        }
+        if !(std_dev.is_finite() && std_dev > 0.0) {
+            return Err(MathError::InvalidParameter {
+                name: "std_dev",
+                reason: format!("must be positive and finite, got {std_dev}"),
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Create a normal distribution from its mean and **variance**.
+    ///
+    /// This is the natural parameterisation coming out of Lemmas 2 and 3,
+    /// where the variance of the deviation is `E[Var(t*)] / r`.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> crate::Result<Self> {
+        if !(variance.is_finite() && variance > 0.0) {
+            return Err(MathError::InvalidParameter {
+                name: "variance",
+                reason: format!("must be positive and finite, got {variance}"),
+            });
+        }
+        Self::new(mean, variance.sqrt())
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// The variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Probability density function evaluated at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function `P[X <= x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Probability that the variable falls in the closed interval `[lo, hi]`.
+    ///
+    /// This is the one-dimensional building block of the Theorem 1 box
+    /// probability `∫_S f(θ̂ − θ̄)`: because dimensions are independent, the
+    /// box probability is the product of these interval probabilities.
+    pub fn prob_in_interval(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0)
+    }
+
+    /// Quantile function (inverse cdf): returns `x` with `P[X <= x] = p`.
+    ///
+    /// Used to turn the framework's Gaussian deviation approximation into a
+    /// practical "supremum" `sup|θ̂_j − θ̄_j|` for the HDR4ME regularization
+    /// weights (the paper's collector-chosen tolerated supremum).
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] when `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> crate::Result<f64> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(MathError::InvalidParameter {
+                name: "p",
+                reason: format!("must lie in [0, 1], got {p}"),
+            });
+        }
+        Ok(self.mean + self.std_dev * std::f64::consts::SQRT_2 * inverse_erf(2.0 * p - 1.0))
+    }
+
+    /// Draw one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: robust, no rejection, and we do not need the second value.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draw `n` independent samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::RunningMoments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::from_mean_variance(0.0, 0.0).is_err());
+        assert!(Normal::from_mean_variance(0.0, -4.0).is_err());
+    }
+
+    #[test]
+    fn from_mean_variance_takes_square_root() {
+        let n = Normal::from_mean_variance(1.0, 4.0).unwrap();
+        assert!((n.std_dev() - 2.0).abs() < 1e-15);
+        assert!((n.variance() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn standard_normal_pdf_reference_values() {
+        let n = Normal::STANDARD;
+        assert!((n.pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-12);
+        assert!((n.pdf(1.0) - 0.241_970_724_519_143_37).abs() < 1e-12);
+        assert!((n.pdf(-2.0) - 0.053_990_966_513_188_06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_normal_cdf_reference_values() {
+        let n = Normal::STANDARD;
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((n.cdf(1.0) - 0.841_344_746_068_543).abs() < 2e-7);
+        assert!((n.cdf(-1.96) - 0.024_997_895_148_220_44).abs() < 2e-7);
+        assert!((n.cdf(3.0) - 0.998_650_101_968_37).abs() < 2e-7);
+    }
+
+    #[test]
+    fn cdf_respects_location_and_scale() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        // P[X <= 5] = 0.5, P[X <= 7] = Phi(1).
+        assert!((n.cdf(5.0) - 0.5).abs() < 1e-9);
+        assert!((n.cdf(7.0) - Normal::STANDARD.cdf(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_probability_is_consistent_with_cdf() {
+        let n = Normal::new(-0.5, 0.3).unwrap();
+        let p = n.prob_in_interval(-1.0, 0.0);
+        assert!((p - (n.cdf(0.0) - n.cdf(-1.0))).abs() < 1e-15);
+        assert_eq!(n.prob_in_interval(1.0, 0.0), 0.0);
+        // The whole real line has probability ~1.
+        assert!((n.prob_in_interval(-1e3, 1e3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(2.0, 0.7).unwrap();
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = n.quantile(p).unwrap();
+            assert!((n.cdf(x) - p).abs() < 1e-5, "p = {p}");
+        }
+        assert!(n.quantile(-0.1).is_err());
+        assert!(n.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn three_sigma_quantile_matches_textbook_value() {
+        // Phi^{-1}(0.99865) ≈ 3.0 for the standard normal.
+        let z = Normal::STANDARD.quantile(0.998_650_101_968_37).unwrap();
+        assert!((z - 3.0).abs() < 1e-3, "z = {z}");
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let n = Normal::new(-1.5, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut acc = RunningMoments::new();
+        for _ in 0..200_000 {
+            acc.push(n.sample(&mut rng));
+        }
+        assert!((acc.mean() - -1.5).abs() < 0.01, "mean = {}", acc.mean());
+        assert!(
+            (acc.variance() - 0.25).abs() < 0.01,
+            "variance = {}",
+            acc.variance()
+        );
+    }
+
+    #[test]
+    fn sample_n_returns_requested_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = Normal::STANDARD.sample_n(&mut rng, 100);
+        assert_eq!(xs.len(), 100);
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn pdf_nonnegative_cdf_monotone(
+                mean in -5.0f64..5.0,
+                sd in 0.01f64..10.0,
+                a in -20.0f64..20.0,
+                b in -20.0f64..20.0,
+            ) {
+                let n = Normal::new(mean, sd).unwrap();
+                prop_assert!(n.pdf(a) >= 0.0);
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+                prop_assert!((0.0..=1.0).contains(&n.cdf(a)));
+            }
+
+            #[test]
+            fn quantile_round_trip(mean in -3.0f64..3.0, sd in 0.1f64..3.0, p in 0.001f64..0.999) {
+                let n = Normal::new(mean, sd).unwrap();
+                let x = n.quantile(p).unwrap();
+                prop_assert!((n.cdf(x) - p).abs() < 1e-4);
+            }
+        }
+    }
+}

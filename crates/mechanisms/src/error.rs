@@ -1,0 +1,89 @@
+//! Error type for mechanism construction and use.
+
+use std::fmt;
+
+/// Errors raised when constructing or applying an LDP mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// The privacy budget is not a positive, finite number.
+    InvalidEpsilon(f64),
+    /// A value handed to `perturb`/`bias`/`variance` lies outside the
+    /// mechanism's input domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: f64,
+        /// Lower end of the accepted domain.
+        lo: f64,
+        /// Upper end of the accepted domain.
+        hi: f64,
+    },
+    /// A mechanism-specific parameter is invalid.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::InvalidEpsilon(e) => {
+                write!(f, "privacy budget epsilon must be positive and finite, got {e}")
+            }
+            MechanismError::ValueOutOfDomain { value, lo, hi } => {
+                write!(f, "value {value} outside the mechanism input domain [{lo}, {hi}]")
+            }
+            MechanismError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+/// Validate a privacy budget, returning it when it is positive and finite.
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<f64, MechanismError> {
+    if epsilon.is_finite() && epsilon > 0.0 {
+        Ok(epsilon)
+    } else {
+        Err(MechanismError::InvalidEpsilon(epsilon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_epsilon_accepts_positive_finite_values() {
+        assert_eq!(check_epsilon(0.5).unwrap(), 0.5);
+        assert_eq!(check_epsilon(5000.0).unwrap(), 5000.0);
+    }
+
+    #[test]
+    fn check_epsilon_rejects_invalid_values() {
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MechanismError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        let e = MechanismError::ValueOutOfDomain {
+            value: 2.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
+        assert!(e.to_string().contains("2"));
+        let e = MechanismError::InvalidParameter {
+            name: "alpha",
+            reason: "must be in [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Privacy-budget accounting.
+//!
+//! The paper's sampling scheme gives every user a total budget `ε`; she reports
+//! `m` of her `d` dimensions, each perturbed with budget `ε/m`, so that by
+//! sequential composition the whole report satisfies ε-LDP. Frequency
+//! estimation (Section V-C) perturbs every entry of an `m`-dimension one-hot
+//! report with `ε/(2m)` (histogram encoding changes at most two entries per
+//! categorical value, hence the extra factor 2).
+
+use crate::ProtocolError;
+
+/// The split of a user's total budget across her reported dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSplit {
+    total_epsilon: f64,
+    reported_dims: usize,
+}
+
+impl BudgetSplit {
+    /// Create a budget split.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `total_epsilon` is not
+    /// positive/finite or `reported_dims` is zero.
+    pub fn new(total_epsilon: f64, reported_dims: usize) -> crate::Result<Self> {
+        if !(total_epsilon.is_finite() && total_epsilon > 0.0) {
+            return Err(ProtocolError::InvalidConfig {
+                name: "total_epsilon",
+                reason: format!("must be positive and finite, got {total_epsilon}"),
+            });
+        }
+        if reported_dims == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "reported_dims",
+                reason: "must report at least one dimension".into(),
+            });
+        }
+        Ok(Self {
+            total_epsilon,
+            reported_dims,
+        })
+    }
+
+    /// The user's total privacy budget `ε`.
+    pub fn total_epsilon(&self) -> f64 {
+        self.total_epsilon
+    }
+
+    /// The number of reported dimensions `m`.
+    pub fn reported_dims(&self) -> usize {
+        self.reported_dims
+    }
+
+    /// Per-dimension budget `ε/m` for numeric mean estimation.
+    pub fn per_dimension(&self) -> f64 {
+        self.total_epsilon / self.reported_dims as f64
+    }
+
+    /// Per-entry budget `ε/(2m)` for histogram-encoded frequency estimation.
+    pub fn per_frequency_entry(&self) -> f64 {
+        self.total_epsilon / (2.0 * self.reported_dims as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(BudgetSplit::new(1.0, 10).is_ok());
+        assert!(BudgetSplit::new(0.0, 10).is_err());
+        assert!(BudgetSplit::new(-1.0, 10).is_err());
+        assert!(BudgetSplit::new(f64::NAN, 10).is_err());
+        assert!(BudgetSplit::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn splits_match_the_paper() {
+        // The case study: total ε = 0.1 over m = 100 dimensions -> 0.001 each.
+        let b = BudgetSplit::new(0.1, 100).unwrap();
+        assert!((b.per_dimension() - 0.001).abs() < 1e-15);
+        assert!((b.per_frequency_entry() - 0.0005).abs() < 1e-15);
+        assert_eq!(b.reported_dims(), 100);
+        assert_eq!(b.total_epsilon(), 0.1);
+    }
+
+    #[test]
+    fn single_dimension_uses_full_budget() {
+        let b = BudgetSplit::new(2.0, 1).unwrap();
+        assert_eq!(b.per_dimension(), 2.0);
+        assert_eq!(b.per_frequency_entry(), 1.0);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn composition_never_exceeds_total(eps in 0.01f64..100.0, m in 1usize..1000) {
+                let b = BudgetSplit::new(eps, m).unwrap();
+                // m perturbations at ε/m compose to exactly ε.
+                let composed = b.per_dimension() * m as f64;
+                prop_assert!((composed - eps).abs() < 1e-9);
+                // Frequency entries compose to ε/2 per reported dimension pair.
+                prop_assert!(b.per_frequency_entry() * 2.0 * m as f64 - eps < 1e-9);
+            }
+        }
+    }
+}

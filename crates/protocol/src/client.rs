@@ -1,0 +1,183 @@
+//! The user-side (client) half of the protocol: dimension sampling and
+//! perturbation.
+//!
+//! Following the common approach the paper adopts (Section III-B, citing Wang
+//! et al. and Nguyên et al.), each user samples `m` of her `d` dimensions
+//! *uniformly without replacement* and perturbs each sampled value with budget
+//! `ε/m`. Reporting `m` of `d` dimensions from `n` users is statistically
+//! equivalent to reporting all dimensions from `nm/d` users, which is what
+//! makes `E[r_j] = nm/d`.
+
+use crate::{BudgetSplit, ProtocolError, Report};
+use hdldp_mechanisms::Mechanism;
+use rand::seq::index::sample;
+use rand::RngCore;
+
+/// A client that perturbs user tuples with a given mechanism and budget split.
+pub struct Client<'a> {
+    mechanism: &'a dyn Mechanism,
+    budget: BudgetSplit,
+    dims: usize,
+}
+
+impl<'a> Client<'a> {
+    /// Create a client for `dims`-dimensional tuples.
+    ///
+    /// The `mechanism` must already be instantiated with the *per-dimension*
+    /// budget (`budget.per_dimension()` for mean estimation); the client
+    /// checks this to catch mis-wired configurations early.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `dims` is zero, when the
+    /// number of reported dimensions exceeds `dims`, or when the mechanism's
+    /// budget does not match the split.
+    pub fn new(
+        mechanism: &'a dyn Mechanism,
+        budget: BudgetSplit,
+        dims: usize,
+    ) -> crate::Result<Self> {
+        if dims == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "dims",
+                reason: "dimensionality must be positive".into(),
+            });
+        }
+        if budget.reported_dims() > dims {
+            return Err(ProtocolError::InvalidConfig {
+                name: "reported_dims",
+                reason: format!(
+                    "cannot report {} dimensions out of {dims}",
+                    budget.reported_dims()
+                ),
+            });
+        }
+        let expected = budget.per_dimension();
+        if (mechanism.epsilon() - expected).abs() > 1e-9 * expected.max(1.0) {
+            return Err(ProtocolError::InvalidConfig {
+                name: "mechanism",
+                reason: format!(
+                    "mechanism budget {} does not match per-dimension budget {expected}",
+                    mechanism.epsilon()
+                ),
+            });
+        }
+        Ok(Self {
+            mechanism,
+            budget,
+            dims,
+        })
+    }
+
+    /// The dimensionality `d` this client expects.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The budget split in use.
+    pub fn budget(&self) -> BudgetSplit {
+        self.budget
+    }
+
+    /// Perturb one user tuple into a report.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when the tuple length does not
+    /// match the configured dimensionality.
+    pub fn perturb_tuple(&self, tuple: &[f64], rng: &mut dyn RngCore) -> crate::Result<Report> {
+        if tuple.len() != self.dims {
+            return Err(ProtocolError::InvalidConfig {
+                name: "tuple",
+                reason: format!("expected {} dimensions, got {}", self.dims, tuple.len()),
+            });
+        }
+        let m = self.budget.reported_dims();
+        let chosen = sample(rng, self.dims, m);
+        let entries = chosen
+            .into_iter()
+            .map(|j| (j, self.mechanism.perturb(tuple[j], rng)))
+            .collect();
+        Ok(Report::new(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdldp_mechanisms::{LaplaceMechanism, PiecewiseMechanism};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_configuration() {
+        let budget = BudgetSplit::new(1.0, 2).unwrap();
+        let mech = LaplaceMechanism::new(budget.per_dimension()).unwrap();
+        assert!(Client::new(&mech, budget, 4).is_ok());
+        assert!(Client::new(&mech, budget, 0).is_err());
+        assert!(Client::new(&mech, budget, 1).is_err()); // m = 2 > d = 1
+        // Mechanism built with the wrong per-dimension budget is rejected.
+        let wrong = LaplaceMechanism::new(1.0).unwrap();
+        assert!(Client::new(&wrong, budget, 4).is_err());
+    }
+
+    #[test]
+    fn reports_have_m_distinct_dimensions() {
+        let budget = BudgetSplit::new(1.0, 3).unwrap();
+        let mech = PiecewiseMechanism::new(budget.per_dimension()).unwrap();
+        let client = Client::new(&mech, budget, 10).unwrap();
+        let tuple = vec![0.1; 10];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let report = client.perturb_tuple(&tuple, &mut rng).unwrap();
+            assert_eq!(report.len(), 3);
+            let mut dims: Vec<usize> = report.entries().iter().map(|(d, _)| *d).collect();
+            dims.sort_unstable();
+            dims.dedup();
+            assert_eq!(dims.len(), 3, "sampled dimensions must be distinct");
+            assert!(dims.iter().all(|&d| d < 10));
+        }
+    }
+
+    #[test]
+    fn tuple_length_is_validated() {
+        let budget = BudgetSplit::new(1.0, 1).unwrap();
+        let mech = LaplaceMechanism::new(1.0).unwrap();
+        let client = Client::new(&mech, budget, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(client.perturb_tuple(&[0.0; 4], &mut rng).is_err());
+        assert!(client.perturb_tuple(&[0.0; 5], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn all_dimensions_get_sampled_over_many_reports() {
+        let budget = BudgetSplit::new(1.0, 1).unwrap();
+        let mech = LaplaceMechanism::new(1.0).unwrap();
+        let client = Client::new(&mech, budget, 6).unwrap();
+        let tuple = vec![0.0; 6];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = vec![0usize; 6];
+        for _ in 0..600 {
+            let report = client.perturb_tuple(&tuple, &mut rng).unwrap();
+            seen[report.entries()[0].0] += 1;
+        }
+        // Every dimension should be picked roughly 100 times.
+        for (j, &count) in seen.iter().enumerate() {
+            assert!(count > 50, "dimension {j} sampled only {count} times");
+        }
+    }
+
+    #[test]
+    fn bounded_mechanism_reports_stay_in_support() {
+        let budget = BudgetSplit::new(2.0, 2).unwrap();
+        let mech = PiecewiseMechanism::new(budget.per_dimension()).unwrap();
+        let client = Client::new(&mech, budget, 4).unwrap();
+        let (lo, hi) = mech.output_support();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tuple = [0.9, -0.9, 0.0, 0.4];
+        for _ in 0..500 {
+            let report = client.perturb_tuple(&tuple, &mut rng).unwrap();
+            for &(_, v) in report.entries() {
+                assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the collection protocol.
+
+use std::fmt;
+
+/// Errors raised while configuring or running the collection protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// A report refers to a dimension outside the configured dimensionality.
+    DimensionOutOfRange {
+        /// The offending dimension index.
+        dimension: usize,
+        /// The configured dimensionality.
+        dims: usize,
+    },
+    /// A dimension received no reports, so its mean cannot be estimated.
+    EmptyDimension {
+        /// The dimension with zero reports.
+        dimension: usize,
+    },
+    /// An error bubbled up from mechanism construction.
+    Mechanism(hdldp_mechanisms::MechanismError),
+    /// An error bubbled up from dataset handling.
+    Data(hdldp_data::DataError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidConfig { name, reason } => {
+                write!(f, "invalid protocol configuration `{name}`: {reason}")
+            }
+            ProtocolError::DimensionOutOfRange { dimension, dims } => {
+                write!(f, "report dimension {dimension} out of range (d = {dims})")
+            }
+            ProtocolError::EmptyDimension { dimension } => {
+                write!(f, "dimension {dimension} received no reports")
+            }
+            ProtocolError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            ProtocolError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Mechanism(e) => Some(e),
+            ProtocolError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdldp_mechanisms::MechanismError> for ProtocolError {
+    fn from(e: hdldp_mechanisms::MechanismError) -> Self {
+        ProtocolError::Mechanism(e)
+    }
+}
+
+impl From<hdldp_data::DataError> for ProtocolError {
+    fn from(e: hdldp_data::DataError) -> Self {
+        ProtocolError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::InvalidConfig {
+            name: "m",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains('m'));
+        let e = ProtocolError::DimensionOutOfRange {
+            dimension: 10,
+            dims: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e: ProtocolError = hdldp_mechanisms::MechanismError::InvalidEpsilon(-1.0).into();
+        assert!(e.to_string().contains("mechanism"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ProtocolError = hdldp_data::DataError::InvalidShape {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! # hdldp-protocol
+//!
+//! The end-to-end LDP collection protocol of Section III-B / IV-B of the paper:
+//!
+//! 1. **Perturbation (client side)** — each of the `n` users samples `m` of her
+//!    `d` dimensions, perturbs each sampled value with budget `ε/m` using any
+//!    [`hdldp_mechanisms::Mechanism`], and sends the resulting report.
+//! 2. **Calibration & aggregation (collector side)** — the collector averages
+//!    the received values per dimension to obtain the naive estimated mean
+//!    `θ̂_j = (1/r_j) Σ_i t*_ij` (the aggregation that HDR4ME later
+//!    re-calibrates).
+//!
+//! The same machinery drives frequency estimation (Section V-C) by
+//! histogram-encoding categorical dimensions and running mean estimation on
+//! the encoded entries with budget `ε/(2m)`.
+//!
+//! The module layout mirrors the protocol phases:
+//!
+//! * [`budget`] — privacy-budget accounting and splitting.
+//! * [`client`] — user-side sampling and perturbation.
+//! * [`report`] — the wire format between users and the collector.
+//! * [`aggregator`] — collector-side aggregation into per-dimension means.
+//! * [`pipeline`] — one-call end-to-end mean estimation over a dataset.
+//! * [`frequency`] — end-to-end frequency estimation over categorical data.
+//! * [`metrics`] — the paper's utility metrics for a finished run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod aggregator;
+pub mod budget;
+pub mod client;
+pub mod error;
+pub mod frequency;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+
+pub use aggregator::Aggregator;
+pub use budget::BudgetSplit;
+pub use client::Client;
+pub use error::ProtocolError;
+pub use frequency::{FrequencyEstimate, FrequencyPipeline};
+pub use metrics::UtilityReport;
+pub use pipeline::{MeanEstimate, MeanEstimationPipeline, PipelineConfig};
+pub use report::Report;
+
+/// Convenience result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, ProtocolError>;

@@ -1,0 +1,79 @@
+//! Utility metrics for a finished estimation run (Section III-B of the paper).
+
+use crate::ProtocolError;
+use hdldp_math::stats;
+use serde::{Deserialize, Serialize};
+
+/// The paper's utility metrics comparing an estimate against the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityReport {
+    /// Mean squared error (Equation 3).
+    pub mse: f64,
+    /// Euclidean deviation `‖θ̂ − θ̄‖₂` (Equation 2).
+    pub l2_deviation: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Largest per-dimension absolute error.
+    pub max_abs_error: f64,
+}
+
+impl UtilityReport {
+    /// Compute all metrics for an estimate against the ground truth.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when the vectors are empty or
+    /// of different lengths.
+    pub fn compare(estimate: &[f64], truth: &[f64]) -> crate::Result<Self> {
+        let to_err = |e: hdldp_math::MathError| ProtocolError::InvalidConfig {
+            name: "estimate",
+            reason: e.to_string(),
+        };
+        Ok(Self {
+            mse: stats::mse(estimate, truth).map_err(to_err)?,
+            l2_deviation: stats::l2_deviation(estimate, truth).map_err(to_err)?,
+            mae: stats::mae(estimate, truth).map_err(to_err)?,
+            max_abs_error: stats::max_abs_deviation(estimate, truth).map_err(to_err)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_computes_all_metrics() {
+        let est = [0.5, -0.5];
+        let truth = [0.0, 0.0];
+        let r = UtilityReport::compare(&est, &truth).unwrap();
+        assert!((r.mse - 0.25).abs() < 1e-12);
+        assert!((r.l2_deviation - 0.5f64.hypot(0.5)).abs() < 1e-12);
+        assert!((r.mae - 0.5).abs() < 1e-12);
+        assert!((r.max_abs_error - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let v = [0.1, 0.2, -0.3];
+        let r = UtilityReport::compare(&v, &v).unwrap();
+        assert_eq!(r.mse, 0.0);
+        assert_eq!(r.l2_deviation, 0.0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.max_abs_error, 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(UtilityReport::compare(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(UtilityReport::compare(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = UtilityReport::compare(&[0.5], &[0.0]).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("mse"));
+        let back: UtilityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,303 @@
+//! One-call end-to-end mean estimation over a [`Dataset`].
+//!
+//! The pipeline wires together the client (sampling + perturbation) and the
+//! aggregator (naive mean aggregation), exactly reproducing the collection
+//! procedure of Section III-B: `n` users, `d` dimensions, `m` reported
+//! dimensions per user, per-dimension budget `ε/m`. Trials are deterministic
+//! given the configured seed, and users are processed in parallel shards
+//! (each with its own seeded RNG) so paper-scale runs stay fast.
+
+use crate::{Aggregator, BudgetSplit, Client, ProtocolError};
+use hdldp_data::Dataset;
+use hdldp_mechanisms::{build_mechanism, Mechanism, MechanismKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one mean-estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Total per-user privacy budget `ε`.
+    pub total_epsilon: f64,
+    /// Number of dimensions `m` each user reports.
+    pub reported_dims: usize,
+    /// Seed for the (deterministic) randomness of the run.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// Convenience constructor.
+    pub fn new(total_epsilon: f64, reported_dims: usize, seed: u64) -> Self {
+        Self {
+            total_epsilon,
+            reported_dims,
+            seed,
+        }
+    }
+}
+
+/// The outcome of one mean-estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanEstimate {
+    /// The naive estimated mean `θ̂` per dimension.
+    pub estimated_means: Vec<f64>,
+    /// The true mean `θ̄` per dimension (ground truth from the dataset).
+    pub true_means: Vec<f64>,
+    /// Number of reports received per dimension (`r_j`).
+    pub report_counts: Vec<u64>,
+    /// The per-dimension budget `ε/m` that was used.
+    pub per_dimension_epsilon: f64,
+}
+
+impl MeanEstimate {
+    /// Utility metrics of the naive estimate against the ground truth.
+    ///
+    /// # Errors
+    /// Propagates [`crate::UtilityReport::compare`] errors (cannot happen for a
+    /// well-formed estimate).
+    pub fn utility(&self) -> crate::Result<crate::UtilityReport> {
+        crate::UtilityReport::compare(&self.estimated_means, &self.true_means)
+    }
+}
+
+/// End-to-end mean estimation pipeline for one mechanism.
+pub struct MeanEstimationPipeline {
+    mechanism: Box<dyn Mechanism>,
+    kind: MechanismKind,
+    config: PipelineConfig,
+}
+
+impl MeanEstimationPipeline {
+    /// Build a pipeline for the given mechanism kind; the mechanism is
+    /// instantiated with the per-dimension budget `ε/m`.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] for an invalid budget split and
+    /// propagates mechanism construction errors.
+    pub fn new(kind: MechanismKind, config: PipelineConfig) -> crate::Result<Self> {
+        let budget = BudgetSplit::new(config.total_epsilon, config.reported_dims)?;
+        let mechanism = build_mechanism(kind, budget.per_dimension())?;
+        Ok(Self {
+            mechanism,
+            kind,
+            config,
+        })
+    }
+
+    /// The mechanism kind this pipeline perturbs with.
+    pub fn kind(&self) -> MechanismKind {
+        self.kind
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// The instantiated per-dimension mechanism.
+    pub fn mechanism(&self) -> &dyn Mechanism {
+        self.mechanism.as_ref()
+    }
+
+    /// Run the full collection over a dataset.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `m > d`, and
+    /// [`ProtocolError::EmptyDimension`] in the (vanishingly unlikely at
+    /// realistic scales) event that some dimension received no report.
+    pub fn run(&self, dataset: &Dataset) -> crate::Result<MeanEstimate> {
+        let dims = dataset.dims();
+        let budget = BudgetSplit::new(self.config.total_epsilon, self.config.reported_dims)?;
+        let client = Client::new(self.mechanism.as_ref(), budget, dims)?;
+
+        // Shard users across threads; each shard aggregates locally and the
+        // shards are merged at the end (Welford merge is exact).
+        let users = dataset.users();
+        let shards = rayon::current_num_threads().max(1);
+        let chunk = users.div_ceil(shards);
+        let seed = self.config.seed;
+
+        let partials: Vec<crate::Result<Aggregator>> = (0..shards)
+            .into_par_iter()
+            .map(|shard| {
+                let lo = shard * chunk;
+                let hi = ((shard + 1) * chunk).min(users);
+                let mut agg = Aggregator::new(dims)?;
+                for i in lo..hi {
+                    // Deterministic per-user stream: SplitMix-style mixing of the
+                    // run seed and the user index.
+                    let user_seed = seed
+                        .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut rng = StdRng::seed_from_u64(user_seed);
+                    let row = dataset.row(i).map_err(ProtocolError::from)?;
+                    let report = client.perturb_tuple(row, &mut rng)?;
+                    agg.ingest(&report)?;
+                }
+                Ok(agg)
+            })
+            .collect();
+
+        let mut total = Aggregator::new(dims)?;
+        for partial in partials {
+            total.merge(&partial?)?;
+        }
+
+        Ok(MeanEstimate {
+            estimated_means: total.estimated_means()?,
+            true_means: dataset.true_means(),
+            report_counts: total.report_counts(),
+            per_dimension_epsilon: budget.per_dimension(),
+        })
+    }
+
+    /// Run the pipeline `trials` times with distinct seeds and return every
+    /// estimate (used by the experiment harness to average MSE over
+    /// repetitions, as the paper does).
+    ///
+    /// # Errors
+    /// Propagates the first error from any trial.
+    pub fn run_trials(&self, dataset: &Dataset, trials: usize) -> crate::Result<Vec<MeanEstimate>> {
+        (0..trials)
+            .map(|t| {
+                let mut config = self.config;
+                config.seed = self.config.seed.wrapping_add(t as u64);
+                let pipeline = MeanEstimationPipeline {
+                    mechanism: build_mechanism(
+                        self.kind,
+                        BudgetSplit::new(config.total_epsilon, config.reported_dims)?
+                            .per_dimension(),
+                    )?,
+                    kind: self.kind,
+                    config,
+                };
+                pipeline.run(dataset)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdldp_data::UniformDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_dataset(users: usize, dims: usize) -> Dataset {
+        UniformDataset::new(users, dims)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(404))
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        assert!(MeanEstimationPipeline::new(
+            MechanismKind::Laplace,
+            PipelineConfig::new(0.0, 1, 0)
+        )
+        .is_err());
+        assert!(MeanEstimationPipeline::new(
+            MechanismKind::Laplace,
+            PipelineConfig::new(1.0, 0, 0)
+        )
+        .is_err());
+        let p = MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(1.0, 4, 0))
+            .unwrap();
+        assert_eq!(p.kind(), MechanismKind::Laplace);
+        assert!((p.mechanism().epsilon() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_larger_than_d_is_rejected_at_run_time() {
+        let p = MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(1.0, 8, 0))
+            .unwrap();
+        let data = uniform_dataset(100, 4);
+        assert!(p.run(&data).is_err());
+    }
+
+    #[test]
+    fn report_counts_sum_to_n_times_m() {
+        let data = uniform_dataset(500, 10);
+        let p = MeanEstimationPipeline::new(
+            MechanismKind::Piecewise,
+            PipelineConfig::new(2.0, 3, 7),
+        )
+        .unwrap();
+        let est = p.run(&data).unwrap();
+        let total: u64 = est.report_counts.iter().sum();
+        assert_eq!(total, 500 * 3);
+        assert_eq!(est.estimated_means.len(), 10);
+        assert_eq!(est.true_means.len(), 10);
+        assert!((est.per_dimension_epsilon - 2.0 / 3.0).abs() < 1e-12);
+        // E[r_j] = n m / d = 150; every dimension should be in a sane band.
+        for &r in &est.report_counts {
+            assert!((100..=200).contains(&r), "r_j = {r}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let data = uniform_dataset(300, 6);
+        let config = PipelineConfig::new(1.0, 2, 99);
+        let p1 = MeanEstimationPipeline::new(MechanismKind::Laplace, config).unwrap();
+        let p2 = MeanEstimationPipeline::new(MechanismKind::Laplace, config).unwrap();
+        assert_eq!(p1.run(&data).unwrap(), p2.run(&data).unwrap());
+        let p3 = MeanEstimationPipeline::new(
+            MechanismKind::Laplace,
+            PipelineConfig::new(1.0, 2, 100),
+        )
+        .unwrap();
+        assert_ne!(p1.run(&data).unwrap(), p3.run(&data).unwrap());
+    }
+
+    #[test]
+    fn generous_budget_recovers_means_accurately() {
+        // With a huge budget and every dimension reported, the estimate should
+        // be very close to the truth.
+        let data = uniform_dataset(5_000, 4);
+        let p = MeanEstimationPipeline::new(
+            MechanismKind::Piecewise,
+            PipelineConfig::new(400.0, 4, 3),
+        )
+        .unwrap();
+        let est = p.run(&data).unwrap();
+        let utility = est.utility().unwrap();
+        assert!(utility.mse < 1e-3, "mse = {}", utility.mse);
+    }
+
+    #[test]
+    fn smaller_budget_gives_larger_error() {
+        let data = uniform_dataset(2_000, 8);
+        let mse_at = |eps: f64| {
+            let p = MeanEstimationPipeline::new(
+                MechanismKind::Laplace,
+                PipelineConfig::new(eps, 8, 11),
+            )
+            .unwrap();
+            // Average over a few trials to smooth randomness.
+            let runs = p.run_trials(&data, 5).unwrap();
+            runs.iter()
+                .map(|e| e.utility().unwrap().mse)
+                .sum::<f64>()
+                / runs.len() as f64
+        };
+        let low = mse_at(0.5);
+        let high = mse_at(8.0);
+        assert!(
+            low > high * 10.0,
+            "expected much larger MSE at eps = 0.5 ({low}) than at 8.0 ({high})"
+        );
+    }
+
+    #[test]
+    fn run_trials_uses_distinct_seeds() {
+        let data = uniform_dataset(200, 4);
+        let p = MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(1.0, 2, 5))
+            .unwrap();
+        let runs = p.run_trials(&data, 3).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_ne!(runs[0].estimated_means, runs[1].estimated_means);
+        assert_ne!(runs[1].estimated_means, runs[2].estimated_means);
+    }
+}

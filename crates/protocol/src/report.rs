@@ -1,0 +1,70 @@
+//! The report a user sends to the data collector.
+//!
+//! A report contains the perturbed values of the `m` dimensions the user
+//! sampled. Only perturbed values leave the user's device (Definition 1 of
+//! the paper); the collector never sees raw data.
+
+use serde::{Deserialize, Serialize};
+
+/// One user's perturbed report: `(dimension index, perturbed value)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    entries: Vec<(usize, f64)>,
+}
+
+impl Report {
+    /// Build a report from `(dimension, perturbed value)` pairs.
+    pub fn new(entries: Vec<(usize, f64)>) -> Self {
+        Self { entries }
+    }
+
+    /// The `(dimension, value)` pairs.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of reported dimensions (the `m` of the protocol).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the report carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The largest dimension index mentioned in the report, if any.
+    pub fn max_dimension(&self) -> Option<usize> {
+        self.entries.iter().map(|(d, _)| *d).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Report::new(vec![(3, 0.5), (1, -0.2)]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.max_dimension(), Some(3));
+        assert_eq!(r.entries()[1], (1, -0.2));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = Report::new(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.max_dimension(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Report::new(vec![(0, 1.25), (7, -3.5)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples themselves live next to this file (`quickstart.rs`,
+//! `mechanism_benchmark.rs`, ...). Run one with, e.g.:
+//!
+//! ```text
+//! cargo run -p hdldp-examples --example quickstart
+//! ```
+
+/// Format a small table of (label, value) rows for terminal output.
+pub fn format_table(title: &str, rows: &[(String, String)]) -> String {
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (k, v) in rows {
+        out.push_str(&format!("  {k:<width$}  {v}\n"));
+    }
+    out
+}

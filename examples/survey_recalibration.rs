@@ -1,0 +1,65 @@
+//! Compare LDP mechanisms end-to-end on a skewed survey workload and show how
+//! HDR4ME changes the picture in high-dimensional space.
+//!
+//! ```text
+//! cargo run -p hdldp-examples --example survey_recalibration
+//! ```
+//!
+//! Scenario: a 400-question numeric survey (each answer normalized into
+//! [-1, 1]) collected from 12,000 respondents with a total budget of ε = 1.
+//! For each of the three mechanisms the paper evaluates, the example prints
+//! the naive MSE and the MSE after HDR4ME with both regularizers — the
+//! single-point version of Figure 4.
+
+use hdldp_core::Hdr4me;
+use hdldp_data::GaussianDataset;
+use hdldp_framework::DeviationModel;
+use hdldp_math::stats;
+use hdldp_mechanisms::MechanismKind;
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let mut rng = StdRng::seed_from_u64(314);
+    // 10% of the questions have a strongly positive consensus (mean 0.9), the
+    // rest are centred — the paper's Gaussian dataset pattern.
+    let dataset = GaussianDataset::new(12_000, 400)?.generate(&mut rng);
+    let epsilon = 1.0;
+    println!(
+        "survey: {} respondents x {} questions, total eps = {epsilon}\n",
+        dataset.users(),
+        dataset.dims()
+    );
+    println!(
+        "{:<14}{:>14}{:>14}{:>14}",
+        "mechanism", "naive MSE", "HDR4ME-L1", "HDR4ME-L2"
+    );
+
+    for kind in MechanismKind::PAPER_EVALUATED {
+        let pipeline = MeanEstimationPipeline::new(
+            kind,
+            PipelineConfig::new(epsilon, dataset.dims(), 8),
+        )?;
+        let estimate = pipeline.run(&dataset)?;
+        let naive = estimate.utility()?.mse;
+        let model =
+            DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)?;
+        let l1 = Hdr4me::l1().recalibrate(&estimate.estimated_means, &model)?;
+        let l2 = Hdr4me::l2().recalibrate(&estimate.estimated_means, &model)?;
+        println!(
+            "{:<14}{:>14.5}{:>14.5}{:>14.5}",
+            kind.name(),
+            naive,
+            stats::mse(&l1.enhanced_means, &estimate.true_means)?,
+            stats::mse(&l2.enhanced_means, &estimate.true_means)?,
+        );
+    }
+
+    println!(
+        "\nNote: Square Wave already has a tiny deviation at this scale, so the paper\n\
+         (and this reproduction) expect little or no gain from re-calibrating it —\n\
+         the gains concentrate on Laplace and Piecewise, whose noise dominates."
+    );
+    Ok(())
+}

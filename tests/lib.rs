@@ -1,0 +1,29 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts small
+//! utilities they share (deterministic RNG construction, tolerance helpers).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a deterministic RNG for reproducible integration tests.
+pub fn test_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Assert two floats are close within an absolute tolerance, with a helpful message.
+pub fn assert_close(actual: f64, expected: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{what}: expected {expected}, got {actual} (tolerance {tol})"
+    );
+}
+
+/// Relative-error variant of [`assert_close`] for quantities far from zero.
+pub fn assert_rel_close(actual: f64, expected: f64, rel: f64, what: &str) {
+    let denom = expected.abs().max(1e-12);
+    assert!(
+        ((actual - expected) / denom).abs() <= rel,
+        "{what}: expected {expected}, got {actual} (relative tolerance {rel})"
+    );
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full mean-estimation stack
+//! (dataset → LDP collection → naive aggregation → HDR4ME re-calibration),
+//! checking the paper's headline claims at small scale.
+
+use hdldp_core::Hdr4me;
+use hdldp_data::{generators, DatasetKind, GaussianDataset};
+use hdldp_framework::DeviationModel;
+use hdldp_integration_tests::test_rng;
+use hdldp_math::stats;
+use hdldp_mechanisms::MechanismKind;
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+
+/// Run one pipeline and return (naive MSE, L1 MSE, L2 MSE) against the truth.
+fn run_point(
+    dataset: &hdldp_data::Dataset,
+    mechanism: MechanismKind,
+    epsilon: f64,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let pipeline = MeanEstimationPipeline::new(
+        mechanism,
+        PipelineConfig::new(epsilon, dataset.dims(), seed),
+    )
+    .expect("valid pipeline");
+    let estimate = pipeline.run(dataset).expect("pipeline runs");
+    let naive = estimate.utility().expect("utility").mse;
+    let model = DeviationModel::for_dataset(
+        pipeline.mechanism(),
+        dataset,
+        dataset.users() as f64,
+    )
+    .expect("model builds");
+    let l1 = Hdr4me::l1()
+        .recalibrate(&estimate.estimated_means, &model)
+        .expect("l1 recalibration");
+    let l2 = Hdr4me::l2()
+        .recalibrate(&estimate.estimated_means, &model)
+        .expect("l2 recalibration");
+    (
+        naive,
+        stats::mse(&l1.enhanced_means, &estimate.true_means).unwrap(),
+        stats::mse(&l2.enhanced_means, &estimate.true_means).unwrap(),
+    )
+}
+
+#[test]
+fn hdr4me_improves_laplace_and_piecewise_in_high_dimensions() {
+    // The Figure 4 regime: all dimensions reported, tight budget.
+    let dataset = GaussianDataset::new(4_000, 80)
+        .unwrap()
+        .generate(&mut test_rng(11));
+    for mechanism in [MechanismKind::Laplace, MechanismKind::Piecewise] {
+        let (naive, l1, l2) = run_point(&dataset, mechanism, 0.5, 3);
+        assert!(l1 < naive, "{mechanism:?}: L1 {l1} vs naive {naive}");
+        assert!(l2 < naive, "{mechanism:?}: L2 {l2} vs naive {naive}");
+    }
+}
+
+#[test]
+fn square_wave_recalibration_is_flagged_as_not_recommended() {
+    // The paper's observation in Figures 4(c), (f), (i), (l): the Square Wave
+    // deviation is already small, so HDR4ME is "not suitable for Square Wave"
+    // and can even hurt. The framework must flag exactly that: the Theorem 3
+    // improvement probability is low, so a collector following the guarantee
+    // keeps the naive aggregate.
+    let dataset = GaussianDataset::new(4_000, 80)
+        .unwrap()
+        .generate(&mut test_rng(12));
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::SquareWave,
+        PipelineConfig::new(100.0, dataset.dims(), 5),
+    )
+    .unwrap();
+    let estimate = pipeline.run(&dataset).unwrap();
+    let model = DeviationModel::for_dataset(
+        pipeline.mechanism(),
+        &dataset,
+        dataset.users() as f64,
+    )
+    .unwrap();
+    let result = Hdr4me::l1()
+        .recalibrate(&estimate.estimated_means, &model)
+        .unwrap();
+    assert!(
+        result.guarantee.probability < 0.5,
+        "improvement probability should be low for Square Wave at a generous budget, got {}",
+        result.guarantee.probability
+    );
+    assert!(!result.guarantee.is_recommended(0.9));
+}
+
+#[test]
+fn mse_decreases_monotonically_with_budget_on_average() {
+    let dataset = GaussianDataset::new(3_000, 60)
+        .unwrap()
+        .generate(&mut test_rng(21));
+    let mse_at = |eps: f64| {
+        // Average three seeds to smooth randomness.
+        (0..3)
+            .map(|s| run_point(&dataset, MechanismKind::Piecewise, eps, s).0)
+            .sum::<f64>()
+            / 3.0
+    };
+    let low = mse_at(0.2);
+    let mid = mse_at(0.8);
+    let high = mse_at(3.2);
+    assert!(low > mid, "MSE at eps 0.2 ({low}) should exceed MSE at 0.8 ({mid})");
+    assert!(mid > high, "MSE at eps 0.8 ({mid}) should exceed MSE at 3.2 ({high})");
+}
+
+#[test]
+fn every_paper_dataset_kind_runs_end_to_end() {
+    for kind in DatasetKind::ALL {
+        let dataset = generators::generate(kind, 1_500, 40, &mut test_rng(33)).unwrap();
+        let (naive, l1, l2) = run_point(&dataset, MechanismKind::Laplace, 0.4, 1);
+        assert!(naive.is_finite() && l1.is_finite() && l2.is_finite(), "{kind:?}");
+        assert!(l1 <= naive, "{kind:?}: L1 should help in this noisy regime");
+    }
+}
+
+#[test]
+fn report_counts_and_budget_are_consistent() {
+    let dataset = GaussianDataset::new(2_000, 50)
+        .unwrap()
+        .generate(&mut test_rng(44));
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::Piecewise,
+        PipelineConfig::new(2.0, 10, 9),
+    )
+    .unwrap();
+    let estimate = pipeline.run(&dataset).unwrap();
+    // n * m reports in total, eps/m per dimension.
+    assert_eq!(estimate.report_counts.iter().sum::<u64>(), 2_000 * 10);
+    assert!((estimate.per_dimension_epsilon - 0.2).abs() < 1e-12);
+    assert_eq!(estimate.estimated_means.len(), 50);
+}

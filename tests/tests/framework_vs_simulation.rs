@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the analytical framework's CLT predictions
+//! (Lemmas 2/3, Theorem 1) against actual simulation through the collection
+//! protocol — the essence of the paper's Figures 2 and 3 at test scale.
+
+use hdldp_data::{DiscreteValueDistribution, UniformDataset};
+use hdldp_framework::{CaseStudy, DeviationApproximation, DeviationModel};
+use hdldp_integration_tests::test_rng;
+use hdldp_mechanisms::MechanismKind;
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+
+/// Simulate repeated collections and return the deviations of dimension 0.
+fn simulate_deviations(
+    dataset: &hdldp_data::Dataset,
+    mechanism: MechanismKind,
+    epsilon: f64,
+    reported: usize,
+    trials: usize,
+) -> Vec<f64> {
+    let truth = dataset.true_means();
+    let pipeline =
+        MeanEstimationPipeline::new(mechanism, PipelineConfig::new(epsilon, reported, 17))
+            .expect("valid pipeline");
+    pipeline
+        .run_trials(dataset, trials)
+        .expect("trials run")
+        .into_iter()
+        .map(|estimate| estimate.estimated_means[0] - truth[0])
+        .collect()
+}
+
+fn mean_and_std(xs: &[f64]) -> (f64, f64) {
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[test]
+fn clt_prediction_matches_simulation_for_unbounded_mechanism() {
+    // Laplace (Lemma 2): deviation ~ N(0, Var(noise)/r).
+    let dataset = UniformDataset::new(4_000, 40)
+        .unwrap()
+        .generate(&mut test_rng(7));
+    let reported = 10;
+    let epsilon = 1.0;
+    let reports = dataset.users() as f64 * reported as f64 / dataset.dims() as f64;
+
+    let pipeline =
+        MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(epsilon, reported, 0))
+            .unwrap();
+    let values = DiscreteValueDistribution::from_column_bucketed(&dataset.column(0).unwrap(), 32)
+        .unwrap();
+    let predicted =
+        DeviationApproximation::for_dimension(pipeline.mechanism(), &values, reports).unwrap();
+
+    let deviations = simulate_deviations(&dataset, MechanismKind::Laplace, epsilon, reported, 120);
+    let (emp_mean, emp_std) = mean_and_std(&deviations);
+
+    assert!(emp_mean.abs() < 4.0 * predicted.std_dev() / (120f64).sqrt() + 0.05);
+    assert!(
+        (emp_std - predicted.std_dev()).abs() / predicted.std_dev() < 0.35,
+        "empirical std {emp_std} vs predicted {}",
+        predicted.std_dev()
+    );
+}
+
+#[test]
+fn clt_prediction_matches_simulation_for_bounded_biased_mechanism() {
+    // Square Wave (Lemma 3): the deviation keeps a non-zero mean (bias).
+    let case_study = CaseStudy {
+        reports_per_dimension: 2_000.0,
+        ..CaseStudy::default()
+    };
+    let predicted = case_study.square_wave_deviation().unwrap();
+
+    // Direct one-dimensional simulation on the native [0, 1] domain.
+    let mech =
+        hdldp_mechanisms::SquareWaveMechanism::new(case_study.per_dimension_epsilon()).unwrap();
+    let values = case_study.values.values().to_vec();
+    let true_mean = case_study.values.mean();
+    let mut rng = test_rng(13);
+    let trials = 150;
+    let mut deviations = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut sum = 0.0;
+        for _ in 0..case_study.reports_per_dimension as usize {
+            let v = values[rand::Rng::gen_range(&mut rng, 0..values.len())];
+            sum += hdldp_mechanisms::Mechanism::perturb(&mech, v, &mut rng);
+        }
+        deviations.push(sum / case_study.reports_per_dimension - true_mean);
+    }
+    let (emp_mean, emp_std) = mean_and_std(&deviations);
+
+    assert!(
+        (emp_mean - predicted.delta()).abs() < 5.0 * predicted.std_dev(),
+        "empirical mean {emp_mean} vs predicted bias {}",
+        predicted.delta()
+    );
+    assert!(
+        (emp_std - predicted.std_dev()).abs() / predicted.std_dev() < 0.35,
+        "empirical std {emp_std} vs predicted {}",
+        predicted.std_dev()
+    );
+}
+
+#[test]
+fn theorem1_box_probability_matches_monte_carlo_frequency() {
+    // For a 3-dimensional Laplace model, the Theorem 1 box probability should
+    // match the fraction of simulated runs whose every dimension stays inside
+    // the box.
+    let dataset = UniformDataset::new(2_000, 3)
+        .unwrap()
+        .generate(&mut test_rng(23));
+    let epsilon = 3.0;
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::Laplace,
+        PipelineConfig::new(epsilon, 3, 0),
+    )
+    .unwrap();
+    let model =
+        DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+            .unwrap();
+    let xi = model.std_devs()[0]; // one-sigma box: per-dim ~68%, 3 dims ~0.318
+    let predicted = model.box_probability_uniform(xi);
+
+    let truth = dataset.true_means();
+    let trials = 400;
+    let runs = pipeline.run_trials(&dataset, trials).unwrap();
+    let hits = runs
+        .iter()
+        .filter(|estimate| {
+            estimate
+                .estimated_means
+                .iter()
+                .zip(&truth)
+                .all(|(e, t)| (e - t).abs() <= xi)
+        })
+        .count();
+    let empirical = hits as f64 / trials as f64;
+    assert!(
+        (empirical - predicted).abs() < 0.1,
+        "empirical {empirical} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn table2_crossover_is_reproduced_by_the_case_study() {
+    let bench = CaseStudy::default().table2().unwrap();
+    // Piecewise wins the two tight tolerances, Square Wave the two loose ones.
+    assert_eq!(bench.winner_at(0).unwrap().mechanism, "piecewise");
+    assert_eq!(bench.winner_at(1).unwrap().mechanism, "piecewise");
+    assert_eq!(bench.winner_at(2).unwrap().mechanism, "square_wave");
+    assert_eq!(bench.winner_at(3).unwrap().mechanism, "square_wave");
+}

@@ -1,0 +1,97 @@
+//! Cross-crate property-based tests on the system's core invariants.
+
+use hdldp_core::solver::{solve_l1, solve_l2};
+use hdldp_core::Hdr4me;
+use hdldp_data::{DiscreteValueDistribution, UniformDataset};
+use hdldp_framework::DeviationModel;
+use hdldp_integration_tests::test_rng;
+use hdldp_math::vector::{l1_norm, l2_norm};
+use hdldp_mechanisms::{build_mechanism, MechanismKind};
+use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// HDR4ME never increases the scale of the estimate: both solvers shrink
+    /// every coordinate towards zero, so the L1/L2 norms cannot grow.
+    #[test]
+    fn recalibration_never_increases_the_norm(
+        pair in (1usize..40).prop_flat_map(|len| (
+            proptest::collection::vec(-10.0f64..10.0, len),
+            proptest::collection::vec(0.0f64..5.0, len),
+        )),
+    ) {
+        let (estimate, weights) = pair;
+        let l1 = solve_l1(&estimate, &weights).unwrap();
+        let l2 = solve_l2(&estimate, &weights).unwrap();
+        prop_assert!(l1_norm(&l1) <= l1_norm(&estimate) + 1e-9);
+        prop_assert!(l2_norm(&l1) <= l2_norm(&estimate) + 1e-9);
+        prop_assert!(l1_norm(&l2) <= l1_norm(&estimate) + 1e-9);
+        prop_assert!(l2_norm(&l2) <= l2_norm(&estimate) + 1e-9);
+    }
+
+    /// Theorem 1 box probabilities are genuine probabilities and monotone in
+    /// the box size, for every mechanism.
+    #[test]
+    fn box_probabilities_are_probabilities(
+        eps in 0.01f64..5.0,
+        reports in 10.0f64..10_000.0,
+        dims in 1usize..50,
+        xi in 0.001f64..2.0,
+    ) {
+        let values = DiscreteValueDistribution::case_study();
+        for kind in [MechanismKind::Laplace, MechanismKind::Piecewise, MechanismKind::SquareWave] {
+            let mech = build_mechanism(kind, eps).unwrap();
+            let model = DeviationModel::homogeneous(mech.as_ref(), &values, reports, dims).unwrap();
+            let p = model.box_probability_uniform(xi);
+            let p_bigger = model.box_probability_uniform(xi * 2.0);
+            prop_assert!((0.0..=1.0).contains(&p), "{kind:?}: {p}");
+            prop_assert!(p_bigger + 1e-12 >= p, "{kind:?}");
+            // Theorem 3/4 bounds are also probabilities.
+            prop_assert!((0.0..=1.0).contains(&model.l1_improvement_probability()));
+            prop_assert!((0.0..=1.0).contains(&model.l2_improvement_probability()));
+        }
+    }
+
+    /// The pipeline conserves reports (n·m in total) and produces finite means
+    /// within the mechanism's output support, for every mechanism kind.
+    #[test]
+    fn pipeline_conserves_reports_and_stays_finite(
+        seed in 0u64..50,
+        eps in 0.1f64..4.0,
+    ) {
+        let dataset = UniformDataset::new(300, 12).unwrap().generate(&mut test_rng(seed));
+        for kind in MechanismKind::ALL {
+            let pipeline = MeanEstimationPipeline::new(kind, PipelineConfig::new(eps, 4, seed)).unwrap();
+            let estimate = pipeline.run(&dataset).unwrap();
+            prop_assert_eq!(estimate.report_counts.iter().sum::<u64>(), 300 * 4);
+            prop_assert!(estimate.estimated_means.iter().all(|m| m.is_finite()), "{:?}", kind);
+        }
+    }
+}
+
+/// The end-to-end HDR4ME decision matches the guarantee: when the framework
+/// says "almost surely an improvement", it is one; sanity-checked on a single
+/// deterministic configuration to keep the test fast.
+#[test]
+fn guarantee_and_outcome_agree_in_the_extreme_regime() {
+    let dataset = UniformDataset::new(2_000, 100)
+        .unwrap()
+        .generate(&mut test_rng(99));
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::Laplace,
+        PipelineConfig::new(0.2, 100, 7),
+    )
+    .unwrap();
+    let estimate = pipeline.run(&dataset).unwrap();
+    let model =
+        DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+            .unwrap();
+    let result = Hdr4me::l1().recalibrate(&estimate.estimated_means, &model).unwrap();
+    assert!(result.guarantee.probability > 0.99);
+    let naive = estimate.utility().unwrap().mse;
+    let enhanced =
+        hdldp_math::stats::mse(&result.enhanced_means, &estimate.true_means).unwrap();
+    assert!(enhanced < naive);
+}
