@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             MeanEstimationPipeline::new(kind, PipelineConfig::new(epsilon, reported, 7))?;
         // Framework prediction for dimension 0 (Lemma 2 / Lemma 3).
         let column = dataset.column(0)?;
-        let values =
-            hdldp_data::DiscreteValueDistribution::from_column_bucketed(&column, 64)?;
+        let values = hdldp_data::DiscreteValueDistribution::from_column_bucketed(&column, 64)?;
         let predicted =
             DeviationApproximation::for_dimension(pipeline.mechanism(), &values, reports)?;
 
@@ -75,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             deviations.push(estimate.estimated_means[0] - true_means[0]);
         }
         let emp_mean = deviations.iter().sum::<f64>() / trials as f64;
-        let emp_std = (deviations.iter().map(|x| (x - emp_mean).powi(2)).sum::<f64>()
+        let emp_std = (deviations
+            .iter()
+            .map(|x| (x - emp_mean).powi(2))
+            .sum::<f64>()
             / trials as f64)
             .sqrt();
 

@@ -17,7 +17,9 @@
 //! repeated runs.
 
 use hdldp_bench::scale::arg_value;
-use hdldp_bench::{average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable};
+use hdldp_bench::{
+    average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
+};
 use hdldp_data::{generators, DatasetKind};
 use hdldp_mechanisms::MechanismKind;
 use rand::rngs::StdRng;
@@ -59,18 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let (users, dims) = shape(dataset_kind, scale);
     let trials = scale.pick(100, 5);
 
-    println!("Figure 4 — MSE vs privacy budget on the {} dataset", dataset_kind.name());
+    println!(
+        "Figure 4 — MSE vs privacy budget on the {} dataset",
+        dataset_kind.name()
+    );
     println!(
         "scale: {} | n = {users}, d = {dims}, m = d, trials = {trials}\n",
         scale.label()
     );
 
-    let dataset = generators::generate(
-        dataset_kind,
-        users,
-        dims,
-        &mut StdRng::seed_from_u64(2022),
-    )?;
+    let dataset =
+        generators::generate(dataset_kind, users, dims, &mut StdRng::seed_from_u64(2022))?;
 
     let mut rows = Vec::new();
     for mechanism in MechanismKind::PAPER_EVALUATED {

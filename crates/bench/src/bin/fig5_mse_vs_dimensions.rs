@@ -12,7 +12,9 @@
 //! exactly as the paper describes ("we randomly sample some dimensions from
 //! COV-19 dataset to make up").
 
-use hdldp_bench::{average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable};
+use hdldp_bench::{
+    average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
+};
 use hdldp_data::{CorrelatedDataset, Dataset};
 use hdldp_mechanisms::MechanismKind;
 use rand::rngs::StdRng;
@@ -34,9 +36,12 @@ fn resample_columns(base: &Dataset, target_dims: usize, rng: &mut StdRng) -> Dat
         // Sample distinct columns.
         rand::seq::index::sample(rng, base.dims(), target_dims).into_vec()
     } else {
-        (0..target_dims).map(|_| rng.gen_range(0..base.dims())).collect()
+        (0..target_dims)
+            .map(|_| rng.gen_range(0..base.dims()))
+            .collect()
     };
-    base.select_columns(&columns).expect("column indices are valid")
+    base.select_columns(&columns)
+        .expect("column indices are valid")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {

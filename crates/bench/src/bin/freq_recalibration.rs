@@ -74,8 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                 let truth = &estimate.true_frequencies[dim];
                 raw += stats::mse(&estimate.estimated[dim], truth)?;
                 norm += stats::mse(&estimate.normalized(dim), truth)?;
-                let r1 = Hdr4me::l1().recalibrate_frequencies(&estimate, dim, pipeline.mechanism())?;
-                let r2 = Hdr4me::l2().recalibrate_frequencies(&estimate, dim, pipeline.mechanism())?;
+                let r1 =
+                    Hdr4me::l1().recalibrate_frequencies(&estimate, dim, pipeline.mechanism())?;
+                let r2 =
+                    Hdr4me::l2().recalibrate_frequencies(&estimate, dim, pipeline.mechanism())?;
                 l1 += stats::mse(&r1.enhanced, truth)?;
                 l2 += stats::mse(&r2.enhanced, truth)?;
             }

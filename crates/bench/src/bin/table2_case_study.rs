@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
     println!();
 
-    let mut header = vec!["mechanism".to_string(), "delta".to_string(), "sigma^2".to_string()];
+    let mut header = vec![
+        "mechanism".to_string(),
+        "delta".to_string(),
+        "sigma^2".to_string(),
+    ];
     for xi in bench.suprema() {
         header.push(format!("xi={xi}"));
     }

@@ -66,8 +66,8 @@ pub fn average_mse(
         dataset.users() as f64 * config.reported_dims as f64 / dataset.dims() as f64;
     let model = DeviationModel::for_dataset(probe.mechanism(), dataset, expected_reports.max(1.0))?;
 
-    let results: Vec<Result<(f64, f64, f64), Box<dyn std::error::Error + Send + Sync>>> = (0
-        ..config.trials)
+    type TrialResult = Result<(f64, f64, f64), Box<dyn std::error::Error + Send + Sync>>;
+    let results: Vec<TrialResult> = (0..config.trials)
         .into_par_iter()
         .map(|trial| {
             let pipeline = MeanEstimationPipeline::new(

@@ -42,14 +42,13 @@ impl Hdr4me {
         dim: usize,
         mechanism: &dyn Mechanism,
     ) -> crate::Result<RecalibratedFrequencies> {
-        let raw_freqs =
-            estimate
-                .estimated
-                .get(dim)
-                .ok_or(crate::CoreError::LengthMismatch {
-                    expected: estimate.estimated.len(),
-                    actual: dim,
-                })?;
+        let raw_freqs = estimate
+            .estimated
+            .get(dim)
+            .ok_or(crate::CoreError::LengthMismatch {
+                expected: estimate.estimated.len(),
+                actual: dim,
+            })?;
         let reports = estimate.report_counts[dim].max(1) as f64;
 
         // Deviation model: each one-hot entry takes value 1 with (estimated)
@@ -58,11 +57,8 @@ impl Hdr4me {
         let mut dims = Vec::with_capacity(raw_freqs.len());
         for &f in raw_freqs {
             let p_one = f.clamp(0.0, 1.0);
-            let values = DiscreteValueDistribution::new(
-                vec![0.0, 1.0],
-                vec![1.0 - p_one, p_one],
-            )
-            .map_err(hdldp_framework::FrameworkError::from)?;
+            let values = DiscreteValueDistribution::new(vec![0.0, 1.0], vec![1.0 - p_one, p_one])
+                .map_err(hdldp_framework::FrameworkError::from)?;
             dims.push(DeviationApproximation::for_dimension(
                 mechanism, &values, reports,
             )?);
@@ -98,12 +94,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn run_pipeline(eps: f64, users: usize) -> (FrequencyEstimate, FrequencyPipeline) {
-        let data = CategoricalDataset::generate_zipf(
-            users,
-            vec![8, 5],
-            &mut StdRng::seed_from_u64(100),
-        )
-        .unwrap();
+        let data =
+            CategoricalDataset::generate_zipf(users, vec![8, 5], &mut StdRng::seed_from_u64(100))
+                .unwrap();
         let pipeline =
             FrequencyPipeline::new(MechanismKind::Piecewise, PipelineConfig::new(eps, 2, 9))
                 .unwrap();
@@ -149,7 +142,10 @@ mod tests {
                 improved += 1;
             }
         }
-        assert!(improved >= 1, "L2 re-calibration should help on at least one dimension");
+        assert!(
+            improved >= 1,
+            "L2 re-calibration should help on at least one dimension"
+        );
     }
 
     #[test]

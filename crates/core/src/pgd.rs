@@ -139,10 +139,13 @@ mod tests {
             ..PgdConfig::default()
         };
         assert!(proximal_gradient_descent(&est, &w, Regularization::L1, bad_tol).is_err());
-        assert!(
-            proximal_gradient_descent(&est, &[0.5, 0.5], Regularization::L1, PgdConfig::default())
-                .is_err()
-        );
+        assert!(proximal_gradient_descent(
+            &est,
+            &[0.5, 0.5],
+            Regularization::L1,
+            PgdConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

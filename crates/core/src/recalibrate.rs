@@ -103,7 +103,10 @@ impl Hdr4me {
                 actual: estimated_means.len(),
             });
         }
-        let weights = self.config.lambda.weights(model, self.config.regularization);
+        let weights = self
+            .config
+            .lambda
+            .weights(model, self.config.regularization);
         let enhanced_means = match self.config.regularization {
             Regularization::L1 => solve_l1(estimated_means, &weights)?,
             Regularization::L2 => solve_l2(estimated_means, &weights)?,
@@ -182,7 +185,9 @@ mod tests {
     #[test]
     fn l2_recalibration_shrinks_every_coordinate() {
         let model = noisy_model(3);
-        let result = Hdr4me::l2().recalibrate(&[10.0, -20.0, 0.0], &model).unwrap();
+        let result = Hdr4me::l2()
+            .recalibrate(&[10.0, -20.0, 0.0], &model)
+            .unwrap();
         for (enhanced, original) in result.enhanced_means.iter().zip([10.0f64, -20.0, 0.0]) {
             assert!(enhanced.abs() <= original.abs());
             assert!(enhanced.signum() == original.signum() || *enhanced == 0.0);
@@ -198,11 +203,16 @@ mod tests {
         let model = noisy_model(dims);
         let sigma = model.std_devs()[0];
         // True means: 10% at 0.9, the rest at 0 (the Gaussian dataset pattern).
-        let truth: Vec<f64> = (0..dims).map(|j| if j % 10 == 0 { 0.9 } else { 0.0 }).collect();
+        let truth: Vec<f64> = (0..dims)
+            .map(|j| if j % 10 == 0 { 0.9 } else { 0.0 })
+            .collect();
         // Naive estimate = truth + Gaussian noise of the predicted magnitude.
         let noise_dist = hdldp_math::Normal::new(0.0, sigma).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
-        let estimate: Vec<f64> = truth.iter().map(|t| t + noise_dist.sample(&mut rng)).collect();
+        let estimate: Vec<f64> = truth
+            .iter()
+            .map(|t| t + noise_dist.sample(&mut rng))
+            .collect();
 
         let naive_mse = stats::mse(&estimate, &truth).unwrap();
         for hdr in [Hdr4me::l1(), Hdr4me::l2()] {

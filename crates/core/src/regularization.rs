@@ -52,11 +52,7 @@ impl Regularization {
     /// need it, but tests and the PGD cross-check do).
     pub fn penalty(&self, weights: &[f64], theta: &[f64]) -> f64 {
         match self {
-            Regularization::L1 => weights
-                .iter()
-                .zip(theta)
-                .map(|(l, t)| (l * t).abs())
-                .sum(),
+            Regularization::L1 => weights.iter().zip(theta).map(|(l, t)| (l * t).abs()).sum(),
             Regularization::L2 => weights
                 .iter()
                 .zip(theta)

@@ -107,7 +107,10 @@ mod tests {
     fn vector_solvers_apply_elementwise() {
         let estimate = [3.0, -0.2, 0.0, -4.0];
         let weights = [1.0, 1.0, 1.0, 0.5];
-        assert_eq!(solve_l1(&estimate, &weights).unwrap(), vec![2.0, 0.0, 0.0, -3.5]);
+        assert_eq!(
+            solve_l1(&estimate, &weights).unwrap(),
+            vec![2.0, 0.0, 0.0, -3.5]
+        );
         let l2 = solve_l2(&estimate, &weights).unwrap();
         assert_eq!(l2, vec![1.0, -0.2 / 3.0, 0.0, -2.0]);
     }

@@ -110,7 +110,10 @@ impl CategoricalDataset {
         for _ in 0..users {
             for cum in &cumulative {
                 let u: f64 = rng.gen_range(0.0..1.0);
-                let c = cum.iter().position(|&edge| u <= edge).unwrap_or(cum.len() - 1);
+                let c = cum
+                    .iter()
+                    .position(|&edge| u <= edge)
+                    .unwrap_or(cum.len() - 1);
                 values.push(c);
             }
         }

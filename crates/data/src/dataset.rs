@@ -173,11 +173,7 @@ impl Dataset {
                 reason: format!("cannot take {rows} users from a dataset of {}", self.users),
             });
         }
-        Self::from_rows(
-            rows,
-            self.dims,
-            self.values[..rows * self.dims].to_vec(),
-        )
+        Self::from_rows(rows, self.dims, self.values[..rows * self.dims].to_vec())
     }
 }
 

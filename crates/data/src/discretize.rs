@@ -109,10 +109,8 @@ impl DiscreteValueDistribution {
             entry.1 += 1;
         }
         let n = column.len() as f64;
-        let (values, probabilities): (Vec<f64>, Vec<f64>) = counts
-            .values()
-            .map(|&(v, c)| (v, c as f64 / n))
-            .unzip();
+        let (values, probabilities): (Vec<f64>, Vec<f64>) =
+            counts.values().map(|&(v, c)| (v, c as f64 / n)).unzip();
         // Renormalize to absorb the tiny rounding drift of the division.
         let total: f64 = probabilities.iter().sum();
         let probabilities = probabilities.iter().map(|p| p / total).collect();

@@ -40,7 +40,10 @@ impl fmt::Display for DataError {
         match self {
             DataError::InvalidShape { reason } => write!(f, "invalid dataset shape: {reason}"),
             DataError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match expected {expected}"
+                )
             }
             DataError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")

@@ -337,8 +337,14 @@ mod tests {
         assert!(PoissonDataset::new(10, 0).is_err());
         assert!(UniformDataset::new(0, 0).is_err());
         assert!(CorrelatedDataset::new(0, 5).is_err());
-        assert!(GaussianDataset::new(10, 10).unwrap().with_std_dev(0.0).is_err());
-        assert!(CorrelatedDataset::new(10, 10).unwrap().with_latent_dims(0).is_err());
+        assert!(GaussianDataset::new(10, 10)
+            .unwrap()
+            .with_std_dev(0.0)
+            .is_err());
+        assert!(CorrelatedDataset::new(10, 10)
+            .unwrap()
+            .with_latent_dims(0)
+            .is_err());
     }
 
     #[test]
@@ -352,11 +358,9 @@ mod tests {
         assert!(data.all_within(-1.0, 1.0));
         let true_means = data.true_means();
         // High-mean dimensions cluster near 0.9, the rest near 0.
-        for j in 0..5 {
-            assert!((true_means[j] - 0.9).abs() < 0.02, "dim {j}: {}", true_means[j]);
-        }
-        for j in 5..50 {
-            assert!(true_means[j].abs() < 0.02, "dim {j}: {}", true_means[j]);
+        for (j, &mean) in true_means.iter().enumerate() {
+            let target = if j < 5 { 0.9 } else { 0.0 };
+            assert!((mean - target).abs() < 0.02, "dim {j}: {mean}");
         }
     }
 
@@ -407,7 +411,12 @@ mod tests {
             let n = a.len() as f64;
             let ma = a.iter().sum::<f64>() / n;
             let mb = b.iter().sum::<f64>() / n;
-            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let cov: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - ma) * (y - mb))
+                .sum::<f64>()
+                / n;
             let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
             let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
             cov / (va.sqrt() * vb.sqrt())

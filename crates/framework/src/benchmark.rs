@@ -157,10 +157,22 @@ mod tests {
 
         // Piecewise wins the tight tolerances (unbiased), Square Wave wins the
         // loose ones (tiny variance) — the crossover the paper highlights.
-        assert!(pm_row.probabilities[0].1 > sw_row.probabilities[0].1, "xi = 0.001");
-        assert!(pm_row.probabilities[1].1 > sw_row.probabilities[1].1, "xi = 0.01");
-        assert!(sw_row.probabilities[2].1 > pm_row.probabilities[2].1, "xi = 0.05");
-        assert!(sw_row.probabilities[3].1 > pm_row.probabilities[3].1, "xi = 0.1");
+        assert!(
+            pm_row.probabilities[0].1 > sw_row.probabilities[0].1,
+            "xi = 0.001"
+        );
+        assert!(
+            pm_row.probabilities[1].1 > sw_row.probabilities[1].1,
+            "xi = 0.01"
+        );
+        assert!(
+            sw_row.probabilities[2].1 > pm_row.probabilities[2].1,
+            "xi = 0.05"
+        );
+        assert!(
+            sw_row.probabilities[3].1 > pm_row.probabilities[3].1,
+            "xi = 0.1"
+        );
         assert_eq!(bench.winner_at(0).unwrap().mechanism, "piecewise");
         assert_eq!(bench.winner_at(3).unwrap().mechanism, "square_wave");
         assert!(bench.winner_at(4).is_none());

@@ -191,8 +191,7 @@ mod tests {
         // Lemma 2: for Laplace the approximation must not depend on the data.
         let mech = LaplaceMechanism::new(0.5).unwrap();
         let a = DeviationApproximation::for_dimension(&mech, &case_study_values(), 1000.0).unwrap();
-        let other_values =
-            DiscreteValueDistribution::new(vec![-1.0, 1.0], vec![0.5, 0.5]).unwrap();
+        let other_values = DiscreteValueDistribution::new(vec![-1.0, 1.0], vec![0.5, 0.5]).unwrap();
         let b = DeviationApproximation::for_dimension(&mech, &other_values, 1000.0).unwrap();
         assert_eq!(a.delta(), 0.0);
         assert_eq!(a.delta(), b.delta());
@@ -221,7 +220,11 @@ mod tests {
         let mech = SquareWaveMechanism::new(0.001).unwrap();
         let dev =
             DeviationApproximation::for_dimension(&mech, &case_study_values(), 10_000.0).unwrap();
-        assert!((dev.delta() - -0.049).abs() < 0.002, "delta = {}", dev.delta());
+        assert!(
+            (dev.delta() - -0.049).abs() < 0.002,
+            "delta = {}",
+            dev.delta()
+        );
         assert!(
             (dev.variance() - 3.365e-5).abs() < 0.15e-5,
             "sigma^2 = {:e}",

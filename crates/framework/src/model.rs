@@ -140,8 +140,7 @@ impl DeviationModel {
         for (dim, &x) in self.dimensions.iter().zip(deviation) {
             let sigma = dim.std_dev();
             let z = (x - dim.delta()) / sigma;
-            log_density +=
-                -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+            log_density += -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
         }
         Ok(log_density)
     }
@@ -201,9 +200,7 @@ impl DeviationModel {
 mod tests {
     use super::*;
     use hdldp_data::UniformDataset;
-    use hdldp_mechanisms::{
-        build_mechanism, LaplaceMechanism, MechanismKind, PiecewiseMechanism,
-    };
+    use hdldp_mechanisms::{build_mechanism, LaplaceMechanism, MechanismKind, PiecewiseMechanism};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -50,18 +50,16 @@ pub fn erfc(x: f64) -> f64 {
     } else {
         // Continued-fraction style approximation (Numerical Recipes erfccheb-like).
         let t = 1.0 / (1.0 + 0.5 * x);
-        let tau = t
-            * (-x * x - 1.265_512_23
-                + t * (1.000_023_68
-                    + t * (0.374_091_96
-                        + t * (0.096_784_18
-                            + t * (-0.186_288_06
-                                + t * (0.278_868_07
-                                    + t * (-1.135_203_98
-                                        + t * (1.488_515_87
-                                            + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-            .exp();
-        tau
+        t * (-x * x - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp()
     }
 }
 
@@ -73,7 +71,7 @@ pub fn erfc(x: f64) -> f64 {
 /// Returns `f64::INFINITY` / `f64::NEG_INFINITY` at the endpoints and `NaN`
 /// outside `[-1, 1]`.
 pub fn inverse_erf(p: f64) -> f64 {
-    if p.is_nan() || p > 1.0 || p < -1.0 {
+    if p.is_nan() || !(-1.0..=1.0).contains(&p) {
         return f64::NAN;
     }
     if p == 1.0 {

@@ -40,7 +40,10 @@ impl fmt::Display for MathError {
             MathError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "`{routine}` did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "`{routine}` did not converge after {iterations} iterations"
+            ),
             MathError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")
             }

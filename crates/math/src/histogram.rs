@@ -156,7 +156,10 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 acc += c;
-                (self.lo + (i as f64 + 1.0) * self.bin_width(), acc as f64 / in_range as f64)
+                (
+                    self.lo + (i as f64 + 1.0) * self.bin_width(),
+                    acc as f64 / in_range as f64,
+                )
             })
             .collect()
     }
@@ -197,7 +200,9 @@ mod tests {
     #[test]
     fn density_integrates_to_one() {
         let mut h = Histogram::new(-2.0, 2.0, 50).unwrap();
-        let xs: Vec<f64> = (0..10_000).map(|i| -1.9 + 3.8 * (i as f64) / 10_000.0).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| -1.9 + 3.8 * (i as f64) / 10_000.0)
+            .collect();
         h.extend_from_slice(&xs);
         let total: f64 = h.density().iter().map(|(_, d)| d * h.bin_width()).sum();
         assert!((total - 1.0).abs() < 1e-9, "total = {total}");

@@ -34,7 +34,7 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> crate::Resu
     if a == b {
         return Ok(0.0);
     }
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut sum = f(a) + f(b);
     for i in 1..n {
@@ -49,12 +49,7 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> crate::Resu
 /// # Errors
 /// Returns [`MathError::InvalidParameter`] for a degenerate interval or a
 /// non-positive tolerance.
-pub fn adaptive_simpson<F: Fn(f64) -> f64>(
-    f: F,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> crate::Result<f64> {
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> crate::Result<f64> {
     if !(a.is_finite() && b.is_finite()) || a > b {
         return Err(MathError::InvalidParameter {
             name: "interval",

@@ -30,10 +30,16 @@ impl fmt::Display for MechanismError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MechanismError::InvalidEpsilon(e) => {
-                write!(f, "privacy budget epsilon must be positive and finite, got {e}")
+                write!(
+                    f,
+                    "privacy budget epsilon must be positive and finite, got {e}"
+                )
             }
             MechanismError::ValueOutOfDomain { value, lo, hi } => {
-                write!(f, "value {value} outside the mechanism input domain [{lo}, {hi}]")
+                write!(
+                    f,
+                    "value {value} outside the mechanism input domain [{lo}, {hi}]"
+                )
             }
             MechanismError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -73,7 +79,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(MechanismError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(MechanismError::InvalidEpsilon(-1.0)
+            .to_string()
+            .contains("-1"));
         let e = MechanismError::ValueOutOfDomain {
             value: 2.0,
             lo: -1.0,

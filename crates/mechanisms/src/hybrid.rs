@@ -156,8 +156,8 @@ mod tests {
     fn variance_is_weighted_average_of_components() {
         let m = HybridMechanism::new(2.0).unwrap();
         for &t in &[-1.0, -0.2, 0.5, 1.0] {
-            let want = m.alpha() * m.piecewise().variance(t)
-                + (1.0 - m.alpha()) * m.duchi().variance(t);
+            let want =
+                m.alpha() * m.piecewise().variance(t) + (1.0 - m.alpha()) * m.duchi().variance(t);
             assert!((m.variance(t) - want).abs() < 1e-12);
         }
     }

@@ -122,7 +122,10 @@ mod tests {
             let (mean, var) = monte_carlo_moments(&m, t, 200_000, 11);
             assert!((mean - t).abs() < 0.02, "t = {t}, mean = {mean}");
             let want = m.variance(t);
-            assert!((var - want).abs() / want < 0.05, "t = {t}, var = {var}, want {want}");
+            assert!(
+                (var - want).abs() / want < 0.05,
+                "t = {t}, var = {var}, want {want}"
+            );
         }
     }
 

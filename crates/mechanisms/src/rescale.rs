@@ -68,6 +68,7 @@ impl<M: Mechanism> Rescaled<M> {
     }
 
     /// Map a native-domain value to the exposed domain.
+    #[allow(clippy::wrong_self_convention)]
     fn from_native(&self, u: f64) -> f64 {
         self.lo + (u - self.native_lo) * self.scale()
     }
@@ -181,7 +182,14 @@ mod tests {
     fn rescaled_moments_match_monte_carlo() {
         let sw = SquareWaveMechanism::new(1.0).unwrap();
         let wrapped = Rescaled::new(sw, -1.0, 1.0).unwrap();
-        assert_moments_match_monte_carlo(&wrapped, &[-1.0, -0.4, 0.0, 0.5, 1.0], 300_000, 0.01, 0.05, 19);
+        assert_moments_match_monte_carlo(
+            &wrapped,
+            &[-1.0, -0.4, 0.0, 0.5, 1.0],
+            300_000,
+            0.01,
+            0.05,
+            19,
+        );
     }
 
     #[test]

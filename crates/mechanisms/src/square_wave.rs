@@ -185,7 +185,10 @@ mod tests {
             (1e-4 * e - e + 1.0) / (2.0 * e * (e - 1.0 - 1e-4))
         };
         let series = SquareWaveMechanism::band_half_width(0.99999e-4);
-        assert!((direct - series).abs() < 1e-5, "direct {direct}, series {series}");
+        assert!(
+            (direct - series).abs() < 1e-5,
+            "direct {direct}, series {series}"
+        );
     }
 
     #[test]
@@ -215,7 +218,8 @@ mod tests {
             let moment = |p: u32| {
                 ld * gauss_legendre_composite(|x| x.powi(p as i32), -b, t - b, 4).unwrap()
                     + hd * gauss_legendre_composite(|x| x.powi(p as i32), t - b, t + b, 4).unwrap()
-                    + ld * gauss_legendre_composite(|x| x.powi(p as i32), t + b, 1.0 + b, 4).unwrap()
+                    + ld * gauss_legendre_composite(|x| x.powi(p as i32), t + b, 1.0 + b, 4)
+                        .unwrap()
             };
             let ex = moment(1);
             let ex2 = moment(2);

@@ -75,7 +75,10 @@ impl Aggregator {
         if other.dims != self.dims {
             return Err(ProtocolError::InvalidConfig {
                 name: "dims",
-                reason: format!("cannot merge aggregators of {} and {} dims", self.dims, other.dims),
+                reason: format!(
+                    "cannot merge aggregators of {} and {} dims",
+                    self.dims, other.dims
+                ),
             });
         }
         for (mine, theirs) in self.per_dimension.iter_mut().zip(&other.per_dimension) {

@@ -114,7 +114,7 @@ mod tests {
         assert!(Client::new(&mech, budget, 4).is_ok());
         assert!(Client::new(&mech, budget, 0).is_err());
         assert!(Client::new(&mech, budget, 1).is_err()); // m = 2 > d = 1
-        // Mechanism built with the wrong per-dimension budget is rejected.
+                                                         // Mechanism built with the wrong per-dimension budget is rejected.
         let wrong = LaplaceMechanism::new(1.0).unwrap();
         assert!(Client::new(&wrong, budget, 4).is_err());
     }
@@ -154,7 +154,7 @@ mod tests {
         let client = Client::new(&mech, budget, 6).unwrap();
         let tuple = vec![0.0; 6];
         let mut rng = StdRng::seed_from_u64(5);
-        let mut seen = vec![0usize; 6];
+        let mut seen = [0usize; 6];
         for _ in 0..600 {
             let report = client.perturb_tuple(&tuple, &mut rng).unwrap();
             seen[report.entries()[0].0] += 1;

@@ -89,10 +89,7 @@ mod tests {
         let e: ProtocolError = hdldp_mechanisms::MechanismError::InvalidEpsilon(-1.0).into();
         assert!(e.to_string().contains("mechanism"));
         assert!(std::error::Error::source(&e).is_some());
-        let e: ProtocolError = hdldp_data::DataError::InvalidShape {
-            reason: "x".into(),
-        }
-        .into();
+        let e: ProtocolError = hdldp_data::DataError::InvalidShape { reason: "x".into() }.into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -13,8 +13,7 @@ use crate::{BudgetSplit, ProtocolError};
 use hdldp_data::CategoricalDataset;
 use hdldp_math::RunningMoments;
 use hdldp_mechanisms::{
-    LaplaceMechanism, Mechanism, MechanismKind, PiecewiseMechanism, Rescaled,
-    SquareWaveMechanism,
+    LaplaceMechanism, Mechanism, MechanismKind, PiecewiseMechanism, Rescaled, SquareWaveMechanism,
 };
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -75,7 +74,9 @@ impl FrequencyEstimate {
 fn build_unit_mechanism(kind: MechanismKind, epsilon: f64) -> crate::Result<Box<dyn Mechanism>> {
     Ok(match kind {
         MechanismKind::SquareWave => Box::new(SquareWaveMechanism::new(epsilon)?),
-        MechanismKind::Laplace => Box::new(Rescaled::new(LaplaceMechanism::new(epsilon)?, 0.0, 1.0)?),
+        MechanismKind::Laplace => {
+            Box::new(Rescaled::new(LaplaceMechanism::new(epsilon)?, 0.0, 1.0)?)
+        }
         MechanismKind::Piecewise => {
             Box::new(Rescaled::new(PiecewiseMechanism::new(epsilon)?, 0.0, 1.0)?)
         }
@@ -212,8 +213,8 @@ impl FrequencyPipeline {
                 let lo = shard_idx * chunk;
                 let hi = ((shard_idx + 1) * chunk).min(users);
                 for i in lo..hi {
-                    let user_seed = seed
-                        .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let user_seed =
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     let mut rng = StdRng::seed_from_u64(user_seed);
                     let chosen = sample(&mut rng, dims, m);
                     for j in chosen {
@@ -275,20 +276,16 @@ mod tests {
 
     #[test]
     fn construction_and_budget_split() {
-        let p = FrequencyPipeline::new(
-            MechanismKind::Piecewise,
-            FrequencyConfig::new(4.0, 2, 0),
-        )
-        .unwrap();
+        let p = FrequencyPipeline::new(MechanismKind::Piecewise, FrequencyConfig::new(4.0, 2, 0))
+            .unwrap();
         assert_eq!(p.kind(), MechanismKind::Piecewise);
         // per entry budget = eps / (2m) = 1.
         assert!((p.mechanism().epsilon() - 1.0).abs() < 1e-12);
         assert_eq!(p.mechanism().input_domain(), (0.0, 1.0));
-        assert!(FrequencyPipeline::new(
-            MechanismKind::Piecewise,
-            FrequencyConfig::new(0.0, 2, 0)
-        )
-        .is_err());
+        assert!(
+            FrequencyPipeline::new(MechanismKind::Piecewise, FrequencyConfig::new(0.0, 2, 0))
+                .is_err()
+        );
     }
 
     #[test]
@@ -310,11 +307,8 @@ mod tests {
     #[test]
     fn generous_budget_recovers_frequencies() {
         let data = dataset(4_000);
-        let p = FrequencyPipeline::new(
-            MechanismKind::Piecewise,
-            FrequencyConfig::new(200.0, 2, 3),
-        )
-        .unwrap();
+        let p = FrequencyPipeline::new(MechanismKind::Piecewise, FrequencyConfig::new(200.0, 2, 3))
+            .unwrap();
         let est = p.run(&data).unwrap();
         for dim in 0..2 {
             let utility = est.utility(dim).unwrap();
@@ -348,7 +342,10 @@ mod tests {
             let raw = est.utility(dim).unwrap().mse;
             let norm = est.utility_normalized(dim).unwrap().mse;
             // Clipping + renormalizing should not make things dramatically worse.
-            assert!(norm <= raw * 2.0 + 1e-6, "dim {dim}: raw {raw}, norm {norm}");
+            assert!(
+                norm <= raw * 2.0 + 1e-6,
+                "dim {dim}: raw {raw}, norm {norm}"
+            );
         }
     }
 

@@ -127,8 +127,8 @@ impl MeanEstimationPipeline {
                 for i in lo..hi {
                     // Deterministic per-user stream: SplitMix-style mixing of the
                     // run seed and the user index.
-                    let user_seed = seed
-                        .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let user_seed =
+                        seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                     let mut rng = StdRng::seed_from_u64(user_seed);
                     let row = dataset.row(i).map_err(ProtocolError::from)?;
                     let report = client.perturb_tuple(row, &mut rng)?;
@@ -219,11 +219,9 @@ mod tests {
     #[test]
     fn report_counts_sum_to_n_times_m() {
         let data = uniform_dataset(500, 10);
-        let p = MeanEstimationPipeline::new(
-            MechanismKind::Piecewise,
-            PipelineConfig::new(2.0, 3, 7),
-        )
-        .unwrap();
+        let p =
+            MeanEstimationPipeline::new(MechanismKind::Piecewise, PipelineConfig::new(2.0, 3, 7))
+                .unwrap();
         let est = p.run(&data).unwrap();
         let total: u64 = est.report_counts.iter().sum();
         assert_eq!(total, 500 * 3);
@@ -243,11 +241,9 @@ mod tests {
         let p1 = MeanEstimationPipeline::new(MechanismKind::Laplace, config).unwrap();
         let p2 = MeanEstimationPipeline::new(MechanismKind::Laplace, config).unwrap();
         assert_eq!(p1.run(&data).unwrap(), p2.run(&data).unwrap());
-        let p3 = MeanEstimationPipeline::new(
-            MechanismKind::Laplace,
-            PipelineConfig::new(1.0, 2, 100),
-        )
-        .unwrap();
+        let p3 =
+            MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(1.0, 2, 100))
+                .unwrap();
         assert_ne!(p1.run(&data).unwrap(), p3.run(&data).unwrap());
     }
 
@@ -256,11 +252,9 @@ mod tests {
         // With a huge budget and every dimension reported, the estimate should
         // be very close to the truth.
         let data = uniform_dataset(5_000, 4);
-        let p = MeanEstimationPipeline::new(
-            MechanismKind::Piecewise,
-            PipelineConfig::new(400.0, 4, 3),
-        )
-        .unwrap();
+        let p =
+            MeanEstimationPipeline::new(MechanismKind::Piecewise, PipelineConfig::new(400.0, 4, 3))
+                .unwrap();
         let est = p.run(&data).unwrap();
         let utility = est.utility().unwrap();
         assert!(utility.mse < 1e-3, "mse = {}", utility.mse);
@@ -277,10 +271,7 @@ mod tests {
             .unwrap();
             // Average over a few trials to smooth randomness.
             let runs = p.run_trials(&data, 5).unwrap();
-            runs.iter()
-                .map(|e| e.utility().unwrap().mse)
-                .sum::<f64>()
-                / runs.len() as f64
+            runs.iter().map(|e| e.utility().unwrap().mse).sum::<f64>() / runs.len() as f64
         };
         let low = mse_at(0.5);
         let high = mse_at(8.0);

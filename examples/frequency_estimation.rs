@@ -17,7 +17,7 @@ use hdldp_protocol::{FrequencyPipeline, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let questions = 15;
     let options = 8;
     let mut rng = StdRng::seed_from_u64(2024);

@@ -15,7 +15,7 @@ use hdldp_data::DiscreteValueDistribution;
 use hdldp_framework::MechanismBenchmark;
 use hdldp_mechanisms::{build_mechanism, MechanismKind};
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // Planned collection: n = 100,000 users, d = 1,000 dims, m = 100 reported.
     let users = 100_000.0;
     let dims = 1_000.0;
@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         vec![0.1, 0.2, 0.3, 0.25, 0.15],
     )?;
 
-    println!("planning a collection: n = {users}, d = {dims}, m = {reported}, eps = {total_epsilon}");
+    println!(
+        "planning a collection: n = {users}, d = {dims}, m = {reported}, eps = {total_epsilon}"
+    );
     println!("per-dimension budget = {per_dimension_epsilon}, expected reports per dimension = {reports}\n");
 
     let mut bench = MechanismBenchmark::new(vec![0.01, 0.05, 0.1, 0.5, 1.0])?;

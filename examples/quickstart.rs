@@ -21,7 +21,7 @@ use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // 1. A synthetic dataset: 20,000 users, 100 numeric dimensions in [-1, 1].
     let mut rng = StdRng::seed_from_u64(7);
     let dataset = GaussianDataset::new(20_000, 100)?.generate(&mut rng);

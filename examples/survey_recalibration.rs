@@ -20,7 +20,7 @@ use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let mut rng = StdRng::seed_from_u64(314);
     // 10% of the questions have a strongly positive consensus (mean 0.9), the
     // rest are centred — the paper's Gaussian dataset pattern.
@@ -37,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     for kind in MechanismKind::PAPER_EVALUATED {
-        let pipeline = MeanEstimationPipeline::new(
-            kind,
-            PipelineConfig::new(epsilon, dataset.dims(), 8),
-        )?;
+        let pipeline =
+            MeanEstimationPipeline::new(kind, PipelineConfig::new(epsilon, dataset.dims(), 8))?;
         let estimate = pipeline.run(&dataset)?;
         let naive = estimate.utility()?.mse;
         let model =

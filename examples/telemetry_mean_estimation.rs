@@ -22,7 +22,7 @@ use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // 8,000 devices, 300 correlated telemetry metrics each (CPU, memory,
     // radio, sensor channels, ...), normalized into [-1, 1].
     let mut rng = StdRng::seed_from_u64(99);

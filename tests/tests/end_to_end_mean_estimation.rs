@@ -24,12 +24,8 @@ fn run_point(
     .expect("valid pipeline");
     let estimate = pipeline.run(dataset).expect("pipeline runs");
     let naive = estimate.utility().expect("utility").mse;
-    let model = DeviationModel::for_dataset(
-        pipeline.mechanism(),
-        dataset,
-        dataset.users() as f64,
-    )
-    .expect("model builds");
+    let model = DeviationModel::for_dataset(pipeline.mechanism(), dataset, dataset.users() as f64)
+        .expect("model builds");
     let l1 = Hdr4me::l1()
         .recalibrate(&estimate.estimated_means, &model)
         .expect("l1 recalibration");
@@ -72,12 +68,8 @@ fn square_wave_recalibration_is_flagged_as_not_recommended() {
     )
     .unwrap();
     let estimate = pipeline.run(&dataset).unwrap();
-    let model = DeviationModel::for_dataset(
-        pipeline.mechanism(),
-        &dataset,
-        dataset.users() as f64,
-    )
-    .unwrap();
+    let model = DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+        .unwrap();
     let result = Hdr4me::l1()
         .recalibrate(&estimate.estimated_means, &model)
         .unwrap();
@@ -104,8 +96,14 @@ fn mse_decreases_monotonically_with_budget_on_average() {
     let low = mse_at(0.2);
     let mid = mse_at(0.8);
     let high = mse_at(3.2);
-    assert!(low > mid, "MSE at eps 0.2 ({low}) should exceed MSE at 0.8 ({mid})");
-    assert!(mid > high, "MSE at eps 0.8 ({mid}) should exceed MSE at 3.2 ({high})");
+    assert!(
+        low > mid,
+        "MSE at eps 0.2 ({low}) should exceed MSE at 0.8 ({mid})"
+    );
+    assert!(
+        mid > high,
+        "MSE at eps 0.8 ({mid}) should exceed MSE at 3.2 ({high})"
+    );
 }
 
 #[test]
@@ -113,7 +111,10 @@ fn every_paper_dataset_kind_runs_end_to_end() {
     for kind in DatasetKind::ALL {
         let dataset = generators::generate(kind, 1_500, 40, &mut test_rng(33)).unwrap();
         let (naive, l1, l2) = run_point(&dataset, MechanismKind::Laplace, 0.4, 1);
-        assert!(naive.is_finite() && l1.is_finite() && l2.is_finite(), "{kind:?}");
+        assert!(
+            naive.is_finite() && l1.is_finite() && l2.is_finite(),
+            "{kind:?}"
+        );
         assert!(l1 <= naive, "{kind:?}: L1 should help in this noisy regime");
     }
 }
@@ -123,11 +124,9 @@ fn report_counts_and_budget_are_consistent() {
     let dataset = GaussianDataset::new(2_000, 50)
         .unwrap()
         .generate(&mut test_rng(44));
-    let pipeline = MeanEstimationPipeline::new(
-        MechanismKind::Piecewise,
-        PipelineConfig::new(2.0, 10, 9),
-    )
-    .unwrap();
+    let pipeline =
+        MeanEstimationPipeline::new(MechanismKind::Piecewise, PipelineConfig::new(2.0, 10, 9))
+            .unwrap();
     let estimate = pipeline.run(&dataset).unwrap();
     // n * m reports in total, eps/m per dimension.
     assert_eq!(estimate.report_counts.iter().sum::<u64>(), 2_000 * 10);

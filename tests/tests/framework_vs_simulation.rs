@@ -44,11 +44,13 @@ fn clt_prediction_matches_simulation_for_unbounded_mechanism() {
     let epsilon = 1.0;
     let reports = dataset.users() as f64 * reported as f64 / dataset.dims() as f64;
 
-    let pipeline =
-        MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(epsilon, reported, 0))
-            .unwrap();
-    let values = DiscreteValueDistribution::from_column_bucketed(&dataset.column(0).unwrap(), 32)
-        .unwrap();
+    let pipeline = MeanEstimationPipeline::new(
+        MechanismKind::Laplace,
+        PipelineConfig::new(epsilon, reported, 0),
+    )
+    .unwrap();
+    let values =
+        DiscreteValueDistribution::from_column_bucketed(&dataset.column(0).unwrap(), 32).unwrap();
     let predicted =
         DeviationApproximation::for_dimension(pipeline.mechanism(), &values, reports).unwrap();
 
@@ -111,14 +113,11 @@ fn theorem1_box_probability_matches_monte_carlo_frequency() {
         .unwrap()
         .generate(&mut test_rng(23));
     let epsilon = 3.0;
-    let pipeline = MeanEstimationPipeline::new(
-        MechanismKind::Laplace,
-        PipelineConfig::new(epsilon, 3, 0),
-    )
-    .unwrap();
-    let model =
-        DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+    let pipeline =
+        MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(epsilon, 3, 0))
             .unwrap();
+    let model = DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+        .unwrap();
     let xi = model.std_devs()[0]; // one-sigma box: per-dim ~68%, 3 dims ~0.318
     let predicted = model.box_probability_uniform(xi);
 

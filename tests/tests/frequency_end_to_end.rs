@@ -17,8 +17,7 @@ fn survey(users: usize) -> CategoricalDataset {
 fn generous_budget_recovers_frequencies_for_every_mechanism() {
     let data = survey(5_000);
     for kind in MechanismKind::PAPER_EVALUATED {
-        let pipeline =
-            FrequencyPipeline::new(kind, PipelineConfig::new(100.0, 3, 2)).unwrap();
+        let pipeline = FrequencyPipeline::new(kind, PipelineConfig::new(100.0, 3, 2)).unwrap();
         let estimate = pipeline.run(&data).unwrap();
         for dim in 0..3 {
             let mse = estimate.utility(dim).unwrap().mse;

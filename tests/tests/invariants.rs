@@ -79,19 +79,17 @@ fn guarantee_and_outcome_agree_in_the_extreme_regime() {
     let dataset = UniformDataset::new(2_000, 100)
         .unwrap()
         .generate(&mut test_rng(99));
-    let pipeline = MeanEstimationPipeline::new(
-        MechanismKind::Laplace,
-        PipelineConfig::new(0.2, 100, 7),
-    )
-    .unwrap();
-    let estimate = pipeline.run(&dataset).unwrap();
-    let model =
-        DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+    let pipeline =
+        MeanEstimationPipeline::new(MechanismKind::Laplace, PipelineConfig::new(0.2, 100, 7))
             .unwrap();
-    let result = Hdr4me::l1().recalibrate(&estimate.estimated_means, &model).unwrap();
+    let estimate = pipeline.run(&dataset).unwrap();
+    let model = DeviationModel::for_dataset(pipeline.mechanism(), &dataset, dataset.users() as f64)
+        .unwrap();
+    let result = Hdr4me::l1()
+        .recalibrate(&estimate.estimated_means, &model)
+        .unwrap();
     assert!(result.guarantee.probability > 0.99);
     let naive = estimate.utility().unwrap().mse;
-    let enhanced =
-        hdldp_math::stats::mse(&result.enhanced_means, &estimate.true_means).unwrap();
+    let enhanced = hdldp_math::stats::mse(&result.enhanced_means, &estimate.true_means).unwrap();
     assert!(enhanced < naive);
 }

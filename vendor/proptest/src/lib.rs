@@ -1,0 +1,372 @@
+//! Minimal, self-contained stand-in for `proptest`.
+//!
+//! The real proptest is a shrinking property-testing framework; this shim
+//! keeps the same surface syntax for the subset the workspace uses and runs
+//! each property as a deterministic Monte-Carlo loop (seeded per test name,
+//! so failures reproduce exactly):
+//!
+//! * numeric range strategies (`-1.0f64..1.0`, `1usize..64`, `0u64..100`, ...)
+//! * `proptest::collection::vec(strategy, len_range)`
+//! * tuple strategies up to arity 6
+//! * `.prop_map(...)` and `.prop_flat_map(...)`
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! No shrinking is performed: a failing case panics with the seed-derived
+//! case index, which is stable across runs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configure the number of cases to run.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let intermediate = self.base.generate(rng);
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                lo: len,
+                hi_exclusive: len + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Derive a deterministic RNG for (test name, case index).
+    #[must_use]
+    pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+    }
+}
+
+/// Everything the `proptest!` DSL needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Skip the current case when its assumption does not hold. The shim simply
+/// returns from the case body instead of drawing a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert a condition inside a property (plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (plain `assert_eq!` semantics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (plain `assert_ne!` semantics).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `body` against `cases` deterministic random assignments of the arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -2.0f64..2.0, n in 1usize..10) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(
+            xs in collection::vec(0.0f64..1.0, 3..7),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn flat_map_links_length_and_content(
+            pair in (1usize..8).prop_flat_map(|len| (
+                collection::vec(0.0f64..1.0, len..len + 1),
+                Just(len),
+            )),
+        ) {
+            let (xs, len) = pair;
+            prop_assert_eq!(xs.len(), len);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::case_rng("some_test", 3);
+        let mut b = crate::test_runner::case_rng("some_test", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::case_rng("some_test", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal, self-contained stand-in for the `rand_distr` crate.
+//!
+//! Only the surface used by the hdldp workspace is provided: the
+//! [`Distribution`] trait and the [`Poisson`] distribution. Poisson sampling
+//! uses Knuth's multiplication method for small rates and the PTRS
+//! transformed-rejection method (Hörmann, 1993) for large rates, so the
+//! paper's per-dimension rates in `[1, 99]` sample in O(1).
+
+use rand::{Rng, RngCore};
+
+/// Types that can sample values of type `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid Poisson parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    /// The rate `lambda` was not a finite positive number.
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// The Poisson distribution with rate `lambda`.
+///
+/// The type parameter is the sample type; only `f64` is supported, matching
+/// how the workspace instantiates `rand_distr::Poisson`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson<F = f64> {
+    lambda: f64,
+    _sample_type: std::marker::PhantomData<F>,
+}
+
+impl Poisson<f64> {
+    /// Create a Poisson distribution. `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(PoissonError::ShapeTooSmall);
+        }
+        Ok(Poisson {
+            lambda,
+            _sample_type: std::marker::PhantomData,
+        })
+    }
+
+    /// The configured rate.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn sample_knuth<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let threshold = (-self.lambda).exp();
+        let mut product: f64 = 1.0;
+        let mut count: u64 = 0;
+        loop {
+            product *= rng.gen_range(f64::MIN_POSITIVE..1.0);
+            if product <= threshold {
+                return count as f64;
+            }
+            count += 1;
+        }
+    }
+
+    /// PTRS transformed rejection (Hörmann 1993), valid for `lambda >= 10`.
+    fn sample_ptrs<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let lambda = self.lambda;
+        let b = 0.931 + 2.53 * lambda.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u = rng.gen_range(0.0f64..1.0) - 0.5;
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let ln_accept = k * lambda.ln() - lambda - ln_factorial(k);
+            if (v * inv_alpha / (a / (us * us) + b)).ln() <= ln_accept {
+                return k;
+            }
+        }
+    }
+}
+
+/// `ln(k!)` via Stirling's series for large `k`, exact product for small `k`.
+fn ln_factorial(k: f64) -> f64 {
+    let n = k as u64;
+    if n < 10 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    let x = k + 1.0;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    (x - 0.5) * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
+        + inv / 12.0 * (1.0 - inv2 / 30.0 * (1.0 - 2.0 * inv2 / 7.0))
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 10.0 {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(5.0).is_ok());
+    }
+
+    #[test]
+    fn mean_and_variance_match_lambda() {
+        for &lambda in &[0.5, 3.0, 25.0, 80.0] {
+            let dist = Poisson::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            let n = 200_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n {
+                let x = dist.sample(&mut rng);
+                assert!(x >= 0.0 && x.fract() == 0.0, "sample {x} not a count");
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / n as f64;
+            let var = sum_sq / n as f64 - mean * mean;
+            let tol = 0.05 * lambda.max(1.0);
+            assert!((mean - lambda).abs() < tol, "lambda={lambda} mean={mean}");
+            assert!(
+                (var - lambda).abs() < 3.0 * tol,
+                "lambda={lambda} var={var}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_is_accurate() {
+        let mut exact = 0.0;
+        for k in 1..40u64 {
+            exact += (k as f64).ln();
+            let approx = ln_factorial(k as f64);
+            assert!(
+                (approx - exact).abs() < 1e-8,
+                "k={k} approx={approx} exact={exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal, self-contained stand-in for `rayon`.
+//!
+//! Only the pattern the workspace uses is supported:
+//!
+//! ```ignore
+//! let results: Vec<_> = (0..n).into_par_iter().map(|i| work(i)).collect();
+//! ```
+//!
+//! Unlike a serial fallback, this shim genuinely runs the mapped closure in
+//! parallel: items are split into contiguous chunks, one `std::thread::scope`
+//! thread per chunk, and results are concatenated in input order (matching
+//! rayon's ordered collect semantics).
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the shim will use (logical CPU count).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `op` (evaluated in parallel at `collect`).
+    pub fn map<R, F>(self, op: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            op,
+        }
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    op: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Evaluate the map across worker threads, preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let ParMap { items, op } = self;
+        let total = items.len();
+        if total == 0 {
+            return std::iter::empty().collect();
+        }
+        let workers = current_num_threads().min(total);
+        if workers <= 1 {
+            return items.into_iter().map(op).collect();
+        }
+        let chunk_len = total.div_ceil(workers);
+        let op = &op;
+
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items;
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, tail));
+        }
+
+        let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(op).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+}
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_can_collect_into_result_vec() {
+        let out: Vec<Result<usize, String>> = (0..10usize)
+            .into_par_iter()
+            .map(|i| if i < 10 { Ok(i) } else { Err("no".into()) })
+            .collect();
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! Implemented without `syn`/`quote` (the build is fully offline): the input
+//! token stream is parsed directly and the generated impl is assembled as a
+//! string. Supported shapes — the only ones the workspace uses:
+//!
+//! * structs with named fields  → serialized as a JSON object
+//! * fieldless enums            → serialized as the variant-name string
+//!
+//! Anything else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a deriving type.
+enum Input {
+    /// Struct name + field names.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Parse the derive input, skipping attributes, visibility, and doc comments.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Skip an optional restriction like `pub(crate)`.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(text),
+                    _ if kind.is_some() && name.is_none() => name = Some(text),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("generic types are not supported by the serde shim derive".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let kind = kind.ok_or("expected `struct` or `enum` before body")?;
+                let name = name.ok_or("expected type name before body")?;
+                return match kind.as_str() {
+                    "struct" => Ok(Input::Struct(name, parse_named_fields(g.stream())?)),
+                    _ => Ok(Input::Enum(name, parse_unit_variants(g.stream())?)),
+                };
+            }
+            _ => {}
+        }
+    }
+    Err("tuple structs and unit structs are not supported by the serde shim derive".into())
+}
+
+/// Extract field names from the body of a braced struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        let mut field: Option<String> = None;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(ref p) if p.as_char() == '#' => {}
+                TokenTree::Group(ref g) if g.delimiter() == Delimiter::Bracket => {}
+                TokenTree::Group(ref g) if g.delimiter() == Delimiter::Parenthesis => {}
+                TokenTree::Ident(id) => {
+                    let text = id.to_string();
+                    if text != "pub" {
+                        field = Some(text);
+                        break;
+                    }
+                }
+                other => {
+                    return Err(format!("unexpected token `{other}` in struct body"));
+                }
+            }
+        }
+        let Some(field) = field else { break };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        fields.push(field);
+        // Consume the type up to the next top-level comma. Generic angle
+        // brackets contain no top-level commas as token trees? They do —
+        // `<K, V>` commas are NOT inside a group, so track depth manually.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extract variant names from the body of an enum, rejecting data variants.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for tok in body {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '#' || p.as_char() == ',' => {}
+            TokenTree::Group(ref g) if g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Group(_) => {
+                return Err("enum variants with data are not supported by the serde shim".into());
+            }
+            other => {
+                return Err(format!("unexpected token `{other}` in enum body"));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` for named-field structs and fieldless enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match parsed {
+        Input::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "entries.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut entries = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` for named-field structs and fieldless enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match parsed {
+        Input::Struct(name, fields) => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(value.get({f:?}).ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if value.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected object for \", {name:?})));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = value.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected string for \", {name:?})))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
