@@ -2,7 +2,7 @@
 //! (ingesting reports and producing the naive per-dimension means).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdldp_protocol::{Aggregator, Report};
+use hdldp_protocol::{Aggregator, IngestConfig, IngestEngine, Report};
 
 fn make_reports(count: usize, dims: usize, entries_per_report: usize) -> Vec<Report> {
     (0..count)
@@ -33,6 +33,61 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ingest_scaling(c: &mut Criterion) {
+    // Same group as `bench_ingest` but parameterized on report count instead
+    // of dimension count, pushing into the million-report regime; the `n`
+    // prefix keeps the ids disjoint from the dims family above.
+    let mut group = c.benchmark_group("aggregator_ingest");
+    let dims = 1_000usize;
+    for &count in &[10_000usize, 1_000_000] {
+        let reports = make_reports(count, dims, 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{count}")),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let mut agg = Aggregator::new(dims).unwrap();
+                    for report in &reports {
+                        agg.ingest(black_box(report)).unwrap();
+                    }
+                    black_box(agg.report_counts())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    // The sharded engine on the same workload shape as `aggregator_ingest`:
+    // hash-route every report into its shard batch, flush, and merge the
+    // per-shard partial sums into the final counts. Shard count is the swept
+    // parameter; `shards1` is the closest analogue of the single-loop path.
+    let mut group = c.benchmark_group("sharded_ingest");
+    let dims = 1_000usize;
+    for &count in &[10_000usize, 1_000_000] {
+        let reports = make_reports(count, dims, 8);
+        for &shards in &[1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards{shards}"), format!("n{count}")),
+                &shards,
+                |b, &shards| {
+                    let config = IngestConfig::new(shards, 256).unwrap();
+                    b.iter(|| {
+                        let mut engine = IngestEngine::new(dims, config).unwrap();
+                        for (user, report) in reports.iter().enumerate() {
+                            engine.submit(user as u64, black_box(report)).unwrap();
+                        }
+                        engine.flush();
+                        black_box(engine.report_counts().unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_estimated_means(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregator_estimated_means");
     for &dims in &[100usize, 10_000] {
@@ -48,5 +103,11 @@ fn bench_estimated_means(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_estimated_means);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_ingest_scaling,
+    bench_sharded_ingest,
+    bench_estimated_means
+);
 criterion_main!(benches);

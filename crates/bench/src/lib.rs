@@ -7,6 +7,8 @@
 //! * [`scale`] — paper-scale vs reduced-scale experiment sizing (`--full`).
 //! * [`runner`] — run an LDP pipeline + HDR4ME over a dataset and average the
 //!   paper's MSE metric over repetitions.
+//! * [`ingest_driver`] — simulate millions of clients streaming reports into
+//!   the sharded ingest engine (throughput + MSE, no materialized dataset).
 //! * [`output`] — aligned text tables plus machine-readable JSON result files.
 //!
 //! | Binary | Reproduces |
@@ -18,6 +20,7 @@
 //! | `fig5_mse_vs_dimensions` | Figure 5 |
 //! | `berry_esseen_bound` | §IV-D worked example |
 //! | `freq_recalibration` | §V-C frequency-estimation extension |
+//! | `million_user_ingest` | §III-B collection at population scale |
 //!
 //! Criterion micro-benchmarks (perturbation, aggregation, re-calibration,
 //! framework evaluation) live under `benches/`.
@@ -26,10 +29,12 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod ingest_driver;
 pub mod output;
 pub mod runner;
 pub mod scale;
 
+pub use ingest_driver::{simulate_ingest, IngestSimConfig, IngestSimSummary};
 pub use output::{write_json_results, TextTable};
 pub use runner::{average_mse, MsePoint, RunnerConfig};
 pub use scale::ExperimentScale;

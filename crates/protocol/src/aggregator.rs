@@ -5,6 +5,11 @@
 //! produces the naive estimated mean `θ̂_j = (1/r_j) Σ_i t*_ij`. This is the
 //! baseline aggregation whose sub-optimality in high-dimensional space the
 //! paper establishes, and the input HDR4ME re-calibrates.
+//!
+//! This type is the *reference* single-loop implementation: it additionally
+//! tracks Welford running variances and extrema for diagnostics. The scaled
+//! collection path lives in [`crate::ingest`], whose sharded engine must (and
+//! is tested to) produce the same estimated means.
 
 use crate::{ProtocolError, Report};
 use hdldp_math::RunningMoments;
@@ -52,10 +57,13 @@ impl Aggregator {
     /// Returns [`ProtocolError::DimensionOutOfRange`] when the report mentions
     /// a dimension `>= dims`; the aggregator state is untouched in that case.
     pub fn ingest(&mut self, report: &Report) -> crate::Result<()> {
-        if let Some(max) = report.max_dimension() {
-            if max >= self.dims {
+        // Validate with an early-exit scan (no max reduction) so the
+        // rejected-report guarantee stays atomic without a second full pass
+        // of work in the hot loop.
+        for &(dim, _) in report.entries() {
+            if dim >= self.dims {
                 return Err(ProtocolError::DimensionOutOfRange {
-                    dimension: max,
+                    dimension: dim,
                     dims: self.dims,
                 });
             }

@@ -84,19 +84,62 @@ impl<'a> Client<'a> {
     /// Returns [`ProtocolError::InvalidConfig`] when the tuple length does not
     /// match the configured dimensionality.
     pub fn perturb_tuple(&self, tuple: &[f64], rng: &mut dyn RngCore) -> crate::Result<Report> {
+        let mut entries = Vec::with_capacity(self.budget.reported_dims());
+        self.perturb_tuple_into(tuple, rng, &mut entries)?;
+        Ok(Report::new(entries))
+    }
+
+    /// [`perturb_tuple`](Client::perturb_tuple), but appending the report's
+    /// `(dimension, value)` entries to a caller-owned buffer instead of
+    /// allocating a [`Report`] — the allocation-free path the sharded ingest
+    /// engine feeds on.
+    ///
+    /// The randomness consumed is identical to [`perturb_tuple`]
+    /// (dimension sampling first, then one perturbation per sampled
+    /// dimension), so both paths produce the same report for the same RNG
+    /// state.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when the tuple length does not
+    /// match the configured dimensionality.
+    ///
+    /// [`perturb_tuple`]: Client::perturb_tuple
+    pub fn perturb_tuple_into(
+        &self,
+        tuple: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(usize, f64)>,
+    ) -> crate::Result<()> {
         if tuple.len() != self.dims {
             return Err(ProtocolError::InvalidConfig {
                 name: "tuple",
                 reason: format!("expected {} dimensions, got {}", self.dims, tuple.len()),
             });
         }
+        self.perturb_lazy_into(|j| tuple[j], rng, out);
+        Ok(())
+    }
+
+    /// Sample `m` dimensions and perturb values produced on demand by
+    /// `value_of`, appending the `(dimension, value)` entries to `out`.
+    ///
+    /// This is the scalable client path for simulated populations: a driver
+    /// standing in for millions of users never needs to materialize a full
+    /// `d`-dimensional tuple per user — only the `m` sampled dimensions are
+    /// ever evaluated.
+    pub fn perturb_lazy_into<V: Fn(usize) -> f64>(
+        &self,
+        value_of: V,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         let m = self.budget.reported_dims();
         let chosen = sample(rng, self.dims, m);
-        let entries = chosen
-            .into_iter()
-            .map(|j| (j, self.mechanism.perturb(tuple[j], rng)))
-            .collect();
-        Ok(Report::new(entries))
+        out.extend(
+            chosen
+                .into_iter()
+                .map(|j| (j, self.mechanism.perturb(value_of(j), rng))),
+        );
     }
 }
 
@@ -163,6 +206,46 @@ mod tests {
         for (j, &count) in seen.iter().enumerate() {
             assert!(count > 50, "dimension {j} sampled only {count} times");
         }
+    }
+
+    #[test]
+    fn perturb_tuple_into_matches_perturb_tuple() {
+        let budget = BudgetSplit::new(2.0, 3).unwrap();
+        let mech = PiecewiseMechanism::new(budget.per_dimension()).unwrap();
+        let client = Client::new(&mech, budget, 8).unwrap();
+        let tuple: Vec<f64> = (0..8).map(|i| (i as f64) / 8.0 - 0.5).collect();
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let report = client.perturb_tuple(&tuple, &mut rng_a).unwrap();
+        let mut entries = Vec::new();
+        client
+            .perturb_tuple_into(&tuple, &mut rng_b, &mut entries)
+            .unwrap();
+        assert_eq!(report.entries(), &entries[..]);
+    }
+
+    #[test]
+    fn lazy_perturbation_only_evaluates_sampled_dimensions() {
+        use std::cell::RefCell;
+        let budget = BudgetSplit::new(1.0, 2).unwrap();
+        let mech = LaplaceMechanism::new(budget.per_dimension()).unwrap();
+        let client = Client::new(&mech, budget, 100).unwrap();
+        let evaluated = RefCell::new(Vec::new());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        client.perturb_lazy_into(
+            |j| {
+                evaluated.borrow_mut().push(j);
+                0.25
+            },
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        let touched = evaluated.into_inner();
+        assert_eq!(touched.len(), 2, "only the m sampled dims are evaluated");
+        let sampled: Vec<usize> = out.iter().map(|&(j, _)| j).collect();
+        assert_eq!(touched, sampled);
     }
 
     #[test]

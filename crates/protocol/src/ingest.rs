@@ -1,0 +1,643 @@
+//! The sharded, batched ingest engine: the collector-side path that scales
+//! the paper's aggregation to millions of users.
+//!
+//! The single-loop [`crate::Aggregator`] is the *reference* implementation of
+//! the calibration + aggregation phase (Section IV-B); this module is the
+//! production-shaped path built on three pieces:
+//!
+//! * [`ReportBatch`] — a bounded flat buffer of reports (one contiguous
+//!   array of `(dimension index, perturbed value)` entries), so reports flow
+//!   to shards without a per-report heap allocation.
+//! * [`crate::ShardRouter`] — hash-partitions reports across shards by user
+//!   id, independent of arrival order and thread count.
+//! * [`crate::ShardAccumulator`] — per-shard partial sums/counts per
+//!   dimension, merged **on read**.
+//!
+//! The resulting [`IngestEngine`] produces exactly the same estimated means
+//! as the single loop — per-dimension sums and counts are order-insensitive
+//! up to floating-point rounding, and the integration tests assert
+//! bit-for-bit equality on inputs where addition is exact — while the hot
+//! loop is two indexed adds per entry, shard-local and allocation-free.
+//!
+//! ```
+//! use hdldp_protocol::{IngestConfig, IngestEngine, Report};
+//!
+//! let mut engine = IngestEngine::new(4, IngestConfig::new(8, 256).unwrap()).unwrap();
+//! engine.submit(7, &Report::new(vec![(0, 0.5), (3, -1.0)])).unwrap();
+//! engine.submit(8, &Report::new(vec![(1, 1.0), (2, 0.0)])).unwrap();
+//! assert_eq!(engine.reports(), 2);
+//! let merged = engine.merged().unwrap();
+//! assert_eq!(merged.counts(), &[1, 1, 1, 1]);
+//! ```
+
+use crate::shard::{ShardAccumulator, ShardRouter};
+use crate::{ProtocolError, Report};
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// A bounded, flat batch of reports.
+///
+/// Entries are stored as one contiguous array of `(u32 dimension index,
+/// f64 perturbed value)` pairs plus report-boundary offsets, so pushing a
+/// report never allocates and the accumulate loop scans contiguous memory.
+/// Capacity is bounded in *reports*; a full batch must be drained (ingested
+/// into a [`ShardAccumulator`] and [`cleared`](ReportBatch::clear)) before
+/// more reports are pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportBatch {
+    dims: usize,
+    capacity: usize,
+    entries: Vec<(u32, f64)>,
+    offsets: Vec<u32>,
+}
+
+impl ReportBatch {
+    /// Create an empty batch for `dims`-dimensional reports holding at most
+    /// `capacity` reports.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `dims` or `capacity` is
+    /// zero, or when `dims` exceeds `u32::MAX` (the index storage width).
+    pub fn new(dims: usize, capacity: usize) -> crate::Result<Self> {
+        if dims == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "dims",
+                reason: "dimensionality must be positive".into(),
+            });
+        }
+        if dims > u32::MAX as usize {
+            return Err(ProtocolError::InvalidConfig {
+                name: "dims",
+                reason: format!("dimensionality {dims} exceeds the u32 index range"),
+            });
+        }
+        if capacity == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "batch_capacity",
+                reason: "batch capacity must be positive".into(),
+            });
+        }
+        Ok(Self {
+            dims,
+            capacity,
+            entries: Vec::new(),
+            offsets: vec![0],
+        })
+    }
+
+    /// The dimensionality `d` entries are validated against.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Maximum number of reports the batch holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of reports currently buffered.
+    pub fn reports(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of `(dimension, value)` entries currently buffered.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no report is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.reports() == 0
+    }
+
+    /// `true` when the batch holds `capacity` reports and must be drained.
+    pub fn is_full(&self) -> bool {
+        self.reports() >= self.capacity
+    }
+
+    /// Append one report given as `(dimension, value)` entries.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when the batch is full and
+    /// [`ProtocolError::DimensionOutOfRange`] when an entry mentions a
+    /// dimension `>= dims`; the batch is untouched in both cases.
+    pub fn push_entries(&mut self, entries: &[(usize, f64)]) -> crate::Result<()> {
+        if self.is_full() {
+            return Err(ProtocolError::InvalidConfig {
+                name: "batch",
+                reason: format!("batch is full ({} reports)", self.capacity),
+            });
+        }
+        // Validate while copying; a partial append is rolled back below, so
+        // the batch is still untouched on error without a second scan.
+        let base = self.entries.len();
+        for &(dim, value) in entries {
+            if dim >= self.dims {
+                self.entries.truncate(base);
+                return Err(ProtocolError::DimensionOutOfRange {
+                    dimension: dim,
+                    dims: self.dims,
+                });
+            }
+            self.entries.push((dim as u32, value));
+        }
+        self.offsets.push(self.entries.len() as u32);
+        Ok(())
+    }
+
+    /// Append one wire-format [`Report`].
+    ///
+    /// # Errors
+    /// Same conditions as [`ReportBatch::push_entries`].
+    pub fn push_report(&mut self, report: &Report) -> crate::Result<()> {
+        self.push_entries(report.entries())
+    }
+
+    /// The flat `(dimension index, value)` entries across all buffered
+    /// reports (report boundaries are irrelevant to sum/count accumulation).
+    pub fn flat_entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// The entries of the `i`-th buffered report.
+    ///
+    /// Returns `None` when `i >= reports()`.
+    pub fn report(&self, i: usize) -> Option<&[(u32, f64)]> {
+        if i >= self.reports() {
+            return None;
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        Some(&self.entries[lo..hi])
+    }
+
+    /// Drop all buffered reports, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.offsets.truncate(1);
+    }
+}
+
+/// Configuration of an [`IngestEngine`]: shard count and batch capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    shards: usize,
+    batch_capacity: usize,
+}
+
+impl IngestConfig {
+    /// Default number of reports buffered per shard before a flush.
+    pub const DEFAULT_BATCH_CAPACITY: usize = 256;
+
+    /// Create a config with `shards` shards and `batch_capacity` reports
+    /// buffered per shard between flushes.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when either is zero.
+    pub fn new(shards: usize, batch_capacity: usize) -> crate::Result<Self> {
+        if shards == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "shards",
+                reason: "shard count must be positive".into(),
+            });
+        }
+        if batch_capacity == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "batch_capacity",
+                reason: "batch capacity must be positive".into(),
+            });
+        }
+        Ok(Self {
+            shards,
+            batch_capacity,
+        })
+    }
+
+    /// One shard per available worker thread, default batch capacity.
+    pub fn per_thread() -> Self {
+        Self {
+            shards: rayon::current_num_threads().max(1),
+            batch_capacity: Self::DEFAULT_BATCH_CAPACITY,
+        }
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured per-shard batch capacity (in reports).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self::per_thread()
+    }
+}
+
+/// The sharded, batched ingest engine.
+///
+/// Reports enter either one at a time via [`submit`](IngestEngine::submit)
+/// (buffered in a bounded per-shard [`ReportBatch`] and flushed into the
+/// shard's [`ShardAccumulator`] when the batch fills) or in bulk via
+/// [`ingest_partitioned`](IngestEngine::ingest_partitioned) (each shard
+/// processes exactly the users that hash to it, in parallel, with
+/// shard-local batching — no locks, no cross-shard traffic). Estimates are
+/// produced by **merge-on-read**: [`merged`](IngestEngine::merged) folds the
+/// per-shard partials (and any still-buffered batches) into one accumulator
+/// without disturbing ingest state.
+///
+/// Both paths accumulate each shard's reports in increasing user-id order,
+/// so for a fixed shard count the engine's state is a pure function of the
+/// submitted reports — independent of thread count and scheduling.
+#[derive(Debug, Clone)]
+pub struct IngestEngine {
+    dims: usize,
+    router: ShardRouter,
+    batch_capacity: usize,
+    pending: Vec<ReportBatch>,
+    shards: Vec<ShardAccumulator>,
+}
+
+impl IngestEngine {
+    /// Create an engine for `dims`-dimensional reports.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `dims` is zero or too
+    /// large for the batch index width.
+    pub fn new(dims: usize, config: IngestConfig) -> crate::Result<Self> {
+        let router = ShardRouter::new(config.shards())?;
+        let pending = (0..config.shards())
+            .map(|_| ReportBatch::new(dims, config.batch_capacity()))
+            .collect::<crate::Result<Vec<_>>>()?;
+        let shards = (0..config.shards())
+            .map(|_| ShardAccumulator::new(dims))
+            .collect::<crate::Result<Vec<_>>>()?;
+        Ok(Self {
+            dims,
+            router,
+            batch_capacity: config.batch_capacity(),
+            pending,
+            shards,
+        })
+    }
+
+    /// The configured dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The number of shards reports are partitioned over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard batch capacity (in reports).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Total reports ingested so far (accumulated + still buffered).
+    pub fn reports(&self) -> usize {
+        self.shards
+            .iter()
+            .map(ShardAccumulator::reports)
+            .sum::<usize>()
+            + self.pending.iter().map(ReportBatch::reports).sum::<usize>()
+    }
+
+    /// Reports per shard (accumulated + still buffered), for load inspection.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .zip(&self.pending)
+            .map(|(acc, batch)| acc.reports() + batch.reports())
+            .collect()
+    }
+
+    /// Submit one report for `user_id`: route to its shard, buffer it in the
+    /// shard's bounded batch, and flush the batch into the shard accumulator
+    /// when it fills.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::DimensionOutOfRange`] when the report
+    /// mentions a dimension `>= dims`; the engine is untouched in that case.
+    pub fn submit(&mut self, user_id: u64, report: &Report) -> crate::Result<()> {
+        self.submit_entries(user_id, report.entries())
+    }
+
+    /// [`submit`](IngestEngine::submit) for a report given directly as
+    /// `(dimension, value)` entries.
+    ///
+    /// # Errors
+    /// Same conditions as [`submit`](IngestEngine::submit).
+    pub fn submit_entries(&mut self, user_id: u64, entries: &[(usize, f64)]) -> crate::Result<()> {
+        let shard = self.router.route(user_id);
+        let batch = &mut self.pending[shard];
+        batch.push_entries(entries)?;
+        if batch.is_full() {
+            self.shards[shard].ingest_batch(batch)?;
+            batch.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush every partially filled batch into its shard accumulator.
+    ///
+    /// Reading paths ([`merged`](IngestEngine::merged) and friends) already
+    /// include buffered reports, so flushing is only needed to bound memory
+    /// or before comparing shard state directly.
+    pub fn flush(&mut self) {
+        for (shard, batch) in self.shards.iter_mut().zip(&mut self.pending) {
+            if !batch.is_empty() {
+                shard
+                    .ingest_batch(batch)
+                    .expect("pending batch dims match the shard by construction");
+                batch.clear();
+            }
+        }
+    }
+
+    /// Bulk-ingest the user range `users` in parallel, one worker per shard.
+    ///
+    /// `fill` produces user `u`'s report by appending `(dimension, value)`
+    /// entries to the scratch vector it is handed (cleared between users).
+    /// Each shard's worker walks the whole range but generates reports only
+    /// for the users that hash to it, so reports flow shard-locally through
+    /// a bounded batch: no locks, no cross-thread report traffic, and the
+    /// result is bit-for-bit identical to calling
+    /// [`submit_entries`](IngestEngine::submit_entries) for every user in
+    /// increasing id order on a freshly flushed engine.
+    ///
+    /// # Errors
+    /// Propagates the first `fill` error; the engine is untouched when any
+    /// shard fails.
+    pub fn ingest_partitioned<F>(&mut self, users: Range<u64>, fill: F) -> crate::Result<()>
+    where
+        F: Fn(u64, &mut Vec<(usize, f64)>) -> crate::Result<()> + Sync,
+    {
+        // Flush buffered reports first so per-shard arrival order matches the
+        // equivalent serial submit sequence.
+        self.flush();
+        let dims = self.dims;
+        let router = self.router;
+        let capacity = self.batch_capacity;
+        let fill = &fill;
+
+        let partials: Vec<crate::Result<ShardAccumulator>> = (0..self.shard_count())
+            .into_par_iter()
+            .map(move |shard| {
+                let mut acc = ShardAccumulator::new(dims)?;
+                let mut batch = ReportBatch::new(dims, capacity)?;
+                let mut scratch: Vec<(usize, f64)> = Vec::new();
+                for user_id in users.clone() {
+                    if router.route(user_id) != shard {
+                        continue;
+                    }
+                    scratch.clear();
+                    fill(user_id, &mut scratch)?;
+                    batch.push_entries(&scratch)?;
+                    if batch.is_full() {
+                        acc.ingest_batch(&batch)?;
+                        batch.clear();
+                    }
+                }
+                acc.ingest_batch(&batch)?;
+                Ok(acc)
+            })
+            .collect();
+
+        // Only merge once every shard succeeded, so a failed bulk ingest
+        // leaves the engine exactly as it was.
+        let partials = partials.into_iter().collect::<crate::Result<Vec<_>>>()?;
+        for (shard, partial) in self.shards.iter_mut().zip(&partials) {
+            shard.merge(partial)?;
+        }
+        Ok(())
+    }
+
+    /// The shard accumulators (flushed state only; buffered batches are not
+    /// included until a flush).
+    pub fn shards(&self) -> &[ShardAccumulator] {
+        &self.shards
+    }
+
+    /// Merge-on-read: fold every shard's partials — including reports still
+    /// buffered in per-shard batches — into one accumulator, leaving ingest
+    /// state untouched.
+    ///
+    /// # Errors
+    /// Propagates accumulator errors (impossible for a well-formed engine).
+    pub fn merged(&self) -> crate::Result<ShardAccumulator> {
+        let mut total = ShardAccumulator::new(self.dims)?;
+        for (shard, batch) in self.shards.iter().zip(&self.pending) {
+            total.merge(shard)?;
+            if !batch.is_empty() {
+                total.ingest_batch(batch)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The naive estimated mean `θ̂` per dimension over all shards.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::EmptyDimension`] if any dimension received no
+    /// reports.
+    pub fn estimated_means(&self) -> crate::Result<Vec<f64>> {
+        self.merged()?.means()
+    }
+
+    /// Number of values received in each dimension (`r_j`), over all shards.
+    ///
+    /// # Errors
+    /// Propagates merge errors (impossible for a well-formed engine).
+    pub fn report_counts(&self) -> crate::Result<Vec<u64>> {
+        Ok(self.merged()?.counts())
+    }
+
+    /// Reset every shard and batch to empty, keeping allocations.
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        for batch in &mut self.pending {
+            batch.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(usize, f64)]) -> Report {
+        Report::new(entries.to_vec())
+    }
+
+    #[test]
+    fn batch_validates_construction() {
+        assert!(ReportBatch::new(0, 4).is_err());
+        assert!(ReportBatch::new(4, 0).is_err());
+        let batch = ReportBatch::new(4, 2).unwrap();
+        assert_eq!(batch.dims(), 4);
+        assert_eq!(batch.capacity(), 2);
+        assert!(batch.is_empty());
+        assert!(!batch.is_full());
+    }
+
+    #[test]
+    fn batch_stores_reports_in_flat_arrays() {
+        let mut batch = ReportBatch::new(4, 3).unwrap();
+        batch.push_entries(&[(0, 1.0), (3, -1.0)]).unwrap();
+        batch.push_report(&report(&[(1, 0.5)])).unwrap();
+        batch.push_entries(&[]).unwrap();
+        assert_eq!(batch.reports(), 3);
+        assert_eq!(batch.entries(), 3);
+        assert!(batch.is_full());
+        assert_eq!(batch.flat_entries(), &[(0, 1.0), (3, -1.0), (1, 0.5)]);
+        assert_eq!(batch.report(0), Some(&[(0u32, 1.0), (3, -1.0)][..]));
+        assert_eq!(batch.report(1), Some(&[(1u32, 0.5)][..]));
+        assert_eq!(batch.report(2), Some(&[][..]));
+        assert_eq!(batch.report(3), None);
+    }
+
+    #[test]
+    fn batch_rejects_overflow_and_bad_dims_atomically() {
+        let mut batch = ReportBatch::new(2, 1).unwrap();
+        assert!(batch.push_entries(&[(0, 1.0), (7, 1.0)]).is_err());
+        assert!(batch.is_empty(), "failed push must not leave partial state");
+        batch.push_entries(&[(0, 1.0)]).unwrap();
+        assert!(batch.push_entries(&[(1, 1.0)]).is_err(), "batch is full");
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push_entries(&[(1, 2.0)]).unwrap();
+        assert_eq!(batch.entries(), 1);
+    }
+
+    #[test]
+    fn config_validates_and_defaults() {
+        assert!(IngestConfig::new(0, 1).is_err());
+        assert!(IngestConfig::new(1, 0).is_err());
+        let config = IngestConfig::new(4, 16).unwrap();
+        assert_eq!(config.shards(), 4);
+        assert_eq!(config.batch_capacity(), 16);
+        let default = IngestConfig::default();
+        assert!(default.shards() >= 1);
+        assert_eq!(
+            default.batch_capacity(),
+            IngestConfig::DEFAULT_BATCH_CAPACITY
+        );
+    }
+
+    #[test]
+    fn engine_matches_single_loop_means() {
+        let reports = [
+            report(&[(0, 1.0), (2, -1.0)]),
+            report(&[(0, 3.0), (1, 0.5)]),
+            report(&[(1, 1.5), (2, 1.0)]),
+            report(&[(0, 2.0)]),
+        ];
+        let mut engine = IngestEngine::new(3, IngestConfig::new(4, 2).unwrap()).unwrap();
+        for (uid, r) in reports.iter().enumerate() {
+            engine.submit(uid as u64, r).unwrap();
+        }
+        assert_eq!(engine.reports(), 4);
+        assert_eq!(engine.report_counts().unwrap(), vec![3, 2, 2]);
+        assert_eq!(engine.estimated_means().unwrap(), vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn merged_includes_pending_batches() {
+        // Capacity 100 means nothing ever auto-flushes.
+        let mut engine = IngestEngine::new(2, IngestConfig::new(2, 100).unwrap()).unwrap();
+        engine.submit(0, &report(&[(0, 1.0)])).unwrap();
+        engine.submit(1, &report(&[(1, 3.0)])).unwrap();
+        assert_eq!(
+            engine.shards().iter().map(|s| s.reports()).sum::<usize>(),
+            0
+        );
+        let merged = engine.merged().unwrap();
+        assert_eq!(merged.reports(), 2);
+        assert_eq!(merged.means().unwrap(), vec![1.0, 3.0]);
+        engine.flush();
+        assert_eq!(
+            engine.shards().iter().map(|s| s.reports()).sum::<usize>(),
+            2
+        );
+        assert_eq!(engine.merged().unwrap(), merged);
+    }
+
+    #[test]
+    fn bad_report_is_rejected_without_state_change() {
+        let mut engine = IngestEngine::new(2, IngestConfig::new(2, 4).unwrap()).unwrap();
+        engine.submit(0, &report(&[(0, 1.0)])).unwrap();
+        assert!(engine.submit(1, &report(&[(9, 1.0)])).is_err());
+        assert_eq!(engine.reports(), 1);
+    }
+
+    #[test]
+    fn ingest_partitioned_matches_serial_submit() {
+        let entries: Vec<Vec<(usize, f64)>> = (0..57)
+            .map(|i| vec![(i % 5, i as f64 * 0.25), ((i + 2) % 5, -(i as f64) * 0.5)])
+            .collect();
+        let config = IngestConfig::new(3, 4).unwrap();
+        let mut serial = IngestEngine::new(5, config).unwrap();
+        for (uid, e) in entries.iter().enumerate() {
+            serial.submit_entries(uid as u64, e).unwrap();
+        }
+        serial.flush();
+        let mut parallel = IngestEngine::new(5, config).unwrap();
+        parallel
+            .ingest_partitioned(0..entries.len() as u64, |uid, out| {
+                out.extend_from_slice(&entries[uid as usize]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(serial.shards(), parallel.shards());
+        assert_eq!(
+            serial.estimated_means().unwrap(),
+            parallel.estimated_means().unwrap()
+        );
+    }
+
+    #[test]
+    fn ingest_partitioned_error_leaves_engine_untouched() {
+        let mut engine = IngestEngine::new(2, IngestConfig::new(2, 4).unwrap()).unwrap();
+        engine.submit(0, &report(&[(0, 1.0)])).unwrap();
+        let before = engine.merged().unwrap();
+        let result = engine.ingest_partitioned(0..10, |uid, out| {
+            if uid == 7 {
+                return Err(ProtocolError::EmptyDimension { dimension: 0 });
+            }
+            out.push((0, 1.0));
+            Ok(())
+        });
+        assert!(result.is_err());
+        assert_eq!(engine.merged().unwrap(), before);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut engine = IngestEngine::new(2, IngestConfig::new(2, 1).unwrap()).unwrap();
+        engine.submit(0, &report(&[(0, 1.0)])).unwrap();
+        engine.submit(1, &report(&[(1, 1.0)])).unwrap();
+        engine.clear();
+        assert_eq!(engine.reports(), 0);
+        assert_eq!(engine.shard_loads(), vec![0, 0]);
+    }
+
+    #[test]
+    fn shard_loads_cover_all_reports() {
+        let mut engine = IngestEngine::new(2, IngestConfig::new(4, 2).unwrap()).unwrap();
+        for uid in 0..37u64 {
+            engine.submit(uid, &report(&[(0, 1.0)])).unwrap();
+        }
+        let loads = engine.shard_loads();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().sum::<usize>(), 37);
+    }
+}

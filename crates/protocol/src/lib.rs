@@ -19,8 +19,14 @@
 //! * [`budget`] — privacy-budget accounting and splitting.
 //! * [`client`] — user-side sampling and perturbation.
 //! * [`report`] — the wire format between users and the collector.
-//! * [`aggregator`] — collector-side aggregation into per-dimension means.
-//! * [`pipeline`] — one-call end-to-end mean estimation over a dataset.
+//! * [`aggregator`] — reference single-loop aggregation into per-dimension
+//!   means (Welford moments; the semantics every scaled path must match).
+//! * [`shard`] — hash-based shard routing and per-shard partial sums/counts.
+//! * [`ingest`] — the sharded, batched ingest engine (bounded report batches
+//!   flowing shard-locally, merge-on-read estimation) that scales the
+//!   aggregation to millions of users.
+//! * [`pipeline`] — one-call end-to-end mean estimation over a dataset,
+//!   running on the sharded engine.
 //! * [`frequency`] — end-to-end frequency estimation over categorical data.
 //! * [`metrics`] — the paper's utility metrics for a finished run.
 
@@ -33,18 +39,22 @@ pub mod budget;
 pub mod client;
 pub mod error;
 pub mod frequency;
+pub mod ingest;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 
 pub use aggregator::Aggregator;
 pub use budget::BudgetSplit;
 pub use client::Client;
 pub use error::ProtocolError;
 pub use frequency::{FrequencyEstimate, FrequencyPipeline};
+pub use ingest::{IngestConfig, IngestEngine, ReportBatch};
 pub use metrics::UtilityReport;
 pub use pipeline::{MeanEstimate, MeanEstimationPipeline, PipelineConfig};
 pub use report::Report;
+pub use shard::{ShardAccumulator, ShardRouter};
 
 /// Convenience result alias for protocol operations.
 pub type Result<T> = std::result::Result<T, ProtocolError>;

@@ -1,18 +1,19 @@
 //! One-call end-to-end mean estimation over a [`Dataset`].
 //!
 //! The pipeline wires together the client (sampling + perturbation) and the
-//! aggregator (naive mean aggregation), exactly reproducing the collection
-//! procedure of Section III-B: `n` users, `d` dimensions, `m` reported
-//! dimensions per user, per-dimension budget `ε/m`. Trials are deterministic
-//! given the configured seed, and users are processed in parallel shards
-//! (each with its own seeded RNG) so paper-scale runs stay fast.
+//! sharded ingest engine (naive mean aggregation), exactly reproducing the
+//! collection procedure of Section III-B: `n` users, `d` dimensions, `m`
+//! reported dimensions per user, per-dimension budget `ε/m`. Users are
+//! hash-partitioned across one ingest shard per worker thread and each user's
+//! randomness is derived from the run seed and her id alone, so runs are
+//! deterministic given the configured seed while paper-scale collections stay
+//! fast.
 
-use crate::{Aggregator, BudgetSplit, Client, ProtocolError};
+use crate::{BudgetSplit, Client, IngestConfig, IngestEngine, ProtocolError};
 use hdldp_data::Dataset;
 use hdldp_mechanisms::{build_mechanism, Mechanism, MechanismKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one mean-estimation run.
@@ -111,42 +112,24 @@ impl MeanEstimationPipeline {
         let budget = BudgetSplit::new(self.config.total_epsilon, self.config.reported_dims)?;
         let client = Client::new(self.mechanism.as_ref(), budget, dims)?;
 
-        // Shard users across threads; each shard aggregates locally and the
-        // shards are merged at the end (Welford merge is exact).
-        let users = dataset.users();
-        let shards = rayon::current_num_threads().max(1);
-        let chunk = users.div_ceil(shards);
+        // Users are hash-partitioned across one ingest shard per worker
+        // thread; each shard batches its reports locally and the partial
+        // sums/counts are merged on read (exact).
         let seed = self.config.seed;
-
-        let partials: Vec<crate::Result<Aggregator>> = (0..shards)
-            .into_par_iter()
-            .map(|shard| {
-                let lo = shard * chunk;
-                let hi = ((shard + 1) * chunk).min(users);
-                let mut agg = Aggregator::new(dims)?;
-                for i in lo..hi {
-                    // Deterministic per-user stream: SplitMix-style mixing of the
-                    // run seed and the user index.
-                    let user_seed =
-                        seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    let mut rng = StdRng::seed_from_u64(user_seed);
-                    let row = dataset.row(i).map_err(ProtocolError::from)?;
-                    let report = client.perturb_tuple(row, &mut rng)?;
-                    agg.ingest(&report)?;
-                }
-                Ok(agg)
-            })
-            .collect();
-
-        let mut total = Aggregator::new(dims)?;
-        for partial in partials {
-            total.merge(&partial?)?;
-        }
+        let mut engine = IngestEngine::new(dims, IngestConfig::per_thread())?;
+        engine.ingest_partitioned(0..dataset.users() as u64, |user, out| {
+            // Deterministic per-user stream: SplitMix-style mixing of the
+            // run seed and the user index.
+            let user_seed = seed.wrapping_add((user + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(user_seed);
+            let row = dataset.row(user as usize).map_err(ProtocolError::from)?;
+            client.perturb_tuple_into(row, &mut rng, out)
+        })?;
 
         Ok(MeanEstimate {
-            estimated_means: total.estimated_means()?,
+            estimated_means: engine.estimated_means()?,
             true_means: dataset.true_means(),
-            report_counts: total.report_counts(),
+            report_counts: engine.report_counts()?,
             per_dimension_epsilon: budget.per_dimension(),
         })
     }
