@@ -3,6 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdldp_protocol::{Aggregator, IngestConfig, IngestEngine, Report};
+use hdldp_telemetry::Registry;
 
 fn make_reports(count: usize, dims: usize, entries_per_report: usize) -> Vec<Report> {
     (0..count)
@@ -88,6 +89,42 @@ fn bench_sharded_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_ingest_telemetry(c: &mut Criterion) {
+    // The exact workload of `sharded_ingest` with a *live* telemetry registry
+    // attached to the engine. Comparing the two group's means at matched
+    // (shards, n) parameters is the observability overhead budget check:
+    // flush-granularity recording must stay within 2% of the plain path.
+    let mut group = c.benchmark_group("sharded_ingest_telemetry");
+    let dims = 1_000usize;
+    for &count in &[10_000usize, 1_000_000] {
+        let reports = make_reports(count, dims, 8);
+        for &shards in &[1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards{shards}"), format!("n{count}")),
+                &shards,
+                |b, &shards| {
+                    let config = IngestConfig::new(shards, 256).unwrap();
+                    // One live registry per configuration, as the drivers use
+                    // it: engines come and go per run, the registry persists
+                    // and accumulates. Creating and populating a registry per
+                    // iteration would benchmark setup, not recording.
+                    let registry = Registry::new();
+                    b.iter(|| {
+                        let mut engine =
+                            IngestEngine::with_telemetry(dims, config, &registry).unwrap();
+                        for (user, report) in reports.iter().enumerate() {
+                            engine.submit(user as u64, black_box(report)).unwrap();
+                        }
+                        engine.flush();
+                        black_box(engine.report_counts().unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_estimated_means(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregator_estimated_means");
     for &dims in &[100usize, 10_000] {
@@ -108,6 +145,7 @@ criterion_group!(
     bench_ingest,
     bench_ingest_scaling,
     bench_sharded_ingest,
+    bench_sharded_ingest_telemetry,
     bench_estimated_means
 );
 criterion_main!(benches);

@@ -8,7 +8,12 @@
 //! cargo run --release -p hdldp-bench --bin fig4_mse_vs_epsilon -- --dataset poisson
 //! cargo run --release -p hdldp-bench --bin fig4_mse_vs_epsilon -- --dataset uniform
 //! cargo run --release -p hdldp-bench --bin fig4_mse_vs_epsilon -- --dataset covid
+//! cargo run --release -p hdldp-bench --bin fig4_mse_vs_epsilon -- --telemetry
 //! ```
+//!
+//! With `--telemetry`, every pipeline run and re-calibration across the sweep
+//! records into one `hdldp_telemetry::Registry`; the aggregate snapshot is
+//! printed and written to `results/telemetry_fig4_mse_vs_epsilon.json`.
 //!
 //! As in the paper, every user reports *all* dimensions (m = d), ε is
 //! partitioned across them, the ε grid is {0.1, 0.2, 0.4, 0.8, 1.6, 3.2} for
@@ -18,10 +23,11 @@
 
 use hdldp_bench::scale::arg_value;
 use hdldp_bench::{
-    average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
+    average_mse_with, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
 };
 use hdldp_data::{generators, DatasetKind};
 use hdldp_mechanisms::MechanismKind;
+use hdldp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -57,6 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let dataset_kind = arg_value(&args, "--dataset")
         .and_then(|name| DatasetKind::parse(&name))
         .unwrap_or(DatasetKind::Gaussian);
+    let registry = if args.iter().any(|a| a == "--telemetry") {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
 
     let (users, dims) = shape(dataset_kind, scale);
     let trials = scale.pick(100, 5);
@@ -78,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         println!("mechanism: {}", mechanism.name());
         let mut table = TextTable::new(vec!["epsilon", "naive MSE", "L1 MSE", "L2 MSE"]);
         for epsilon in epsilon_grid(mechanism) {
-            let point = average_mse(
+            let point = average_mse_with(
                 &dataset,
                 RunnerConfig {
                     mechanism,
@@ -87,6 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     trials,
                     seed: 4242,
                 },
+                &registry,
             )?;
             table.push_row(vec![
                 format!("{epsilon}"),
@@ -109,5 +121,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         &rows,
     )?;
     println!("results written to {}", path.display());
+    if registry.is_enabled() {
+        let snapshot = registry.snapshot();
+        println!("\ntelemetry across the sweep:\n{}", snapshot.render_table());
+        let path = write_json_results("telemetry_fig4_mse_vs_epsilon", &snapshot)?;
+        println!("telemetry written to {}", path.display());
+    }
     Ok(())
 }

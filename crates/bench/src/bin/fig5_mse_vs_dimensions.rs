@@ -4,8 +4,12 @@
 //! mechanisms.
 //!
 //! ```text
-//! cargo run --release -p hdldp-bench --bin fig5_mse_vs_dimensions [--full]
+//! cargo run --release -p hdldp-bench --bin fig5_mse_vs_dimensions [--full] [--telemetry]
 //! ```
+//!
+//! With `--telemetry`, every pipeline run and re-calibration across the sweep
+//! records into one `hdldp_telemetry::Registry`; the aggregate snapshot is
+//! printed and written to `results/telemetry_fig5_mse_vs_dimensions.json`.
 //!
 //! The paper varies d over {50, 100, 200, 400, 800, 1600}; dimensionalities
 //! beyond the base table's 750 columns are obtained by re-sampling columns,
@@ -13,10 +17,11 @@
 //! COV-19 dataset to make up").
 
 use hdldp_bench::{
-    average_mse, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
+    average_mse_with, write_json_results, ExperimentScale, MsePoint, RunnerConfig, TextTable,
 };
 use hdldp_data::{CorrelatedDataset, Dataset};
 use hdldp_mechanisms::MechanismKind;
+use hdldp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -46,6 +51,11 @@ fn resample_columns(base: &Dataset, target_dims: usize, rng: &mut StdRng) -> Dat
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = if args.iter().any(|a| a == "--telemetry") {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
     let scale = ExperimentScale::from_args(args);
 
     let users = scale.pick(150_000, 8_000);
@@ -69,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         let mut table = TextTable::new(vec!["dims", "naive MSE", "L1 MSE", "L2 MSE"]);
         for &dims in &dim_grid {
             let dataset = resample_columns(&base, dims, &mut rng);
-            let point = average_mse(
+            let point = average_mse_with(
                 &dataset,
                 RunnerConfig {
                     mechanism,
@@ -78,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     trials,
                     seed: 31337,
                 },
+                &registry,
             )?;
             table.push_row(vec![
                 format!("{dims}"),
@@ -96,5 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     let path = write_json_results("fig5_mse_vs_dimensions", &rows)?;
     println!("results written to {}", path.display());
+    if registry.is_enabled() {
+        let snapshot = registry.snapshot();
+        println!("\ntelemetry across the sweep:\n{}", snapshot.render_table());
+        let path = write_json_results("telemetry_fig5_mse_vs_dimensions", &snapshot)?;
+        println!("telemetry written to {}", path.display());
+    }
     Ok(())
 }

@@ -7,7 +7,13 @@
 //! cargo run --release -p hdldp-bench --bin million_user_ingest -- --full      # 10M users
 //! cargo run --release -p hdldp-bench --bin million_user_ingest -- \
 //!     --users 2000000 --shards 16 --dims 512 --m 16 --epsilon 2.0 --mechanism pm
+//! cargo run --release -p hdldp-bench --bin million_user_ingest -- --telemetry # metrics
 //! ```
+//!
+//! With `--telemetry`, each run records into an `hdldp_telemetry::Registry`
+//! (per-shard report counters, batch-flush and merge latency histograms,
+//! phase-duration gauges); the per-run snapshots are printed as tables and
+//! written to `results/telemetry_million_user_ingest.json`.
 //!
 //! This is the ROADMAP item-1 driver: the collection protocol of Section
 //! III-B run at the user counts the paper's setting assumes, with the client
@@ -16,12 +22,16 @@
 //! scales, then writes every row to `results/million_user_ingest.json`.
 
 use hdldp_bench::{scale::arg_value, write_json_results};
-use hdldp_bench::{simulate_ingest, ExperimentScale, IngestSimConfig, TextTable};
+use hdldp_bench::{
+    simulate_ingest_with, ExperimentScale, IngestSimConfig, ShardTelemetryRow, TextTable,
+};
 use hdldp_mechanisms::MechanismKind;
+use hdldp_telemetry::Registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = ExperimentScale::from_args(args.clone());
+    let telemetry = args.iter().any(|a| a == "--telemetry");
 
     let users: u64 = match arg_value(&args, "--users") {
         Some(v) => v.parse()?,
@@ -67,7 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     let mut table = TextTable::new(vec![
         "shards",
-        "elapsed (s)",
+        "ingest (s)",
+        "estimate (s)",
         "reports/sec",
         "entries/sec",
         "MSE",
@@ -75,12 +86,21 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         "shard load (min..max)",
     ]);
     let mut rows = Vec::new();
+    let mut telemetry_rows = Vec::new();
     for &shards in &shard_counts {
         config.shards = shards;
-        let summary = simulate_ingest(&config)?;
+        // A fresh registry per shard count, so per-shard counters never mix
+        // between sweep configurations.
+        let registry = if telemetry {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let summary = simulate_ingest_with(&config, &registry)?;
         table.push_row(vec![
             format!("{shards}"),
-            format!("{:.2}", summary.elapsed_secs),
+            format!("{:.2}", summary.ingest_secs),
+            format!("{:.2}", summary.estimate_secs),
             format!("{:.0}", summary.reports_per_sec),
             format!("{:.0}", summary.entries_per_sec),
             format!("{:.6}", summary.mse),
@@ -88,10 +108,20 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             format!("{}..{}", summary.min_shard_load, summary.max_shard_load),
         ]);
         rows.push(summary);
+        if telemetry {
+            let snapshot = registry.snapshot();
+            println!("telemetry @ {shards} shard(s):");
+            println!("{}", snapshot.render_table());
+            telemetry_rows.push(ShardTelemetryRow { shards, snapshot });
+        }
     }
     println!("{}", table.render());
 
     let path = write_json_results("million_user_ingest", &rows)?;
     println!("results written to {}", path.display());
+    if telemetry {
+        let path = write_json_results("telemetry_million_user_ingest", &telemetry_rows)?;
+        println!("telemetry written to {}", path.display());
+    }
     Ok(())
 }

@@ -19,9 +19,10 @@
 
 use hdldp_mechanisms::{build_mechanism, MechanismKind};
 use hdldp_protocol::{BudgetSplit, Client, IngestConfig, IngestEngine};
+use hdldp_telemetry::{Registry, TelemetrySnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Configuration of one simulated ingest run.
@@ -78,12 +79,20 @@ pub struct IngestSimSummary {
     pub total_epsilon: f64,
     /// Number of ingest shards.
     pub shards: usize,
+    /// Reports buffered per shard between flushes.
+    pub batch_capacity: usize,
+    /// Seed of the deterministic per-user randomness.
+    pub seed: u64,
     /// Total reports ingested (= users).
     pub total_reports: usize,
     /// Total `(dimension, value)` entries ingested (= users · m).
     pub total_entries: u64,
-    /// Wall-clock duration of the streaming ingest, in seconds.
+    /// Total wall-clock duration (ingest + estimation), in seconds.
     pub elapsed_secs: f64,
+    /// Wall-clock duration of the streaming ingest phase, in seconds.
+    pub ingest_secs: f64,
+    /// Wall-clock duration of the merge + scoring phase, in seconds.
+    pub estimate_secs: f64,
     /// Users processed per second (one report per user).
     pub reports_per_sec: f64,
     /// Perturbed entries ingested per second.
@@ -129,19 +138,35 @@ pub fn user_value(seed: u64, user: u64, dim: usize) -> f64 {
 
 /// Run the simulated collection: `config.users` clients sample, perturb and
 /// stream reports into a sharded [`IngestEngine`]; the merged estimate is
-/// scored against the analytic population means.
+/// scored against the analytic population means. Telemetry is disabled;
+/// [`simulate_ingest_with`] records into a registry.
 ///
 /// # Errors
 /// Propagates mechanism/protocol configuration errors.
 pub fn simulate_ingest(
     config: &IngestSimConfig,
 ) -> Result<IngestSimSummary, Box<dyn std::error::Error + Send + Sync>> {
+    simulate_ingest_with(config, &Registry::disabled())
+}
+
+/// [`simulate_ingest`] recording engine metrics and phase durations into
+/// `registry`: the ingest engine's counters and latency histograms, plus
+/// `phase_ingest_seconds` / `phase_estimate_seconds` gauges mirroring the
+/// summary's elapsed-time breakdown.
+///
+/// # Errors
+/// Propagates mechanism/protocol configuration errors.
+pub fn simulate_ingest_with(
+    config: &IngestSimConfig,
+    registry: &Registry,
+) -> Result<IngestSimSummary, Box<dyn std::error::Error + Send + Sync>> {
     let budget = BudgetSplit::new(config.total_epsilon, config.reported_dims)?;
     let mechanism = build_mechanism(config.mechanism, budget.per_dimension())?;
     let client = Client::new(mechanism.as_ref(), budget, config.dims)?;
-    let mut engine = IngestEngine::new(
+    let mut engine = IngestEngine::with_telemetry(
         config.dims,
         IngestConfig::new(config.shards, config.batch_capacity)?,
+        registry,
     )?;
 
     let seed = config.seed;
@@ -151,8 +176,10 @@ pub fn simulate_ingest(
         client.perturb_lazy_into(|dim| user_value(seed, user, dim), &mut rng, out);
         Ok(())
     })?;
-    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let ingest_secs = start.elapsed().as_secs_f64().max(1e-9);
+    registry.gauge("phase_ingest_seconds").set(ingest_secs);
 
+    let estimate_start = Instant::now();
     let merged = engine.merged()?;
     let means = merged.means()?;
     let mut mse = 0.0;
@@ -163,7 +190,10 @@ pub fn simulate_ingest(
         max_abs_error = max_abs_error.max(err.abs());
     }
     mse /= config.dims as f64;
+    let estimate_secs = estimate_start.elapsed().as_secs_f64().max(1e-9);
+    registry.gauge("phase_estimate_seconds").set(estimate_secs);
 
+    let elapsed = ingest_secs + estimate_secs;
     let loads = engine.shard_loads();
     let total_entries: u64 = merged.counts().iter().sum();
     Ok(IngestSimSummary {
@@ -173,16 +203,31 @@ pub fn simulate_ingest(
         mechanism: config.mechanism.name().to_string(),
         total_epsilon: config.total_epsilon,
         shards: config.shards,
+        batch_capacity: config.batch_capacity,
+        seed: config.seed,
         total_reports: merged.reports(),
         total_entries,
         elapsed_secs: elapsed,
-        reports_per_sec: merged.reports() as f64 / elapsed,
-        entries_per_sec: total_entries as f64 / elapsed,
+        ingest_secs,
+        estimate_secs,
+        reports_per_sec: merged.reports() as f64 / ingest_secs,
+        entries_per_sec: total_entries as f64 / ingest_secs,
         mse,
         max_abs_error,
         min_shard_load: loads.iter().copied().min().unwrap_or(0),
         max_shard_load: loads.iter().copied().max().unwrap_or(0),
     })
+}
+
+/// One row of a telemetry result file: the registry snapshot of a run at one
+/// shard count (the `million_user_ingest` binary writes a `Vec` of these to
+/// `results/telemetry_million_user_ingest.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardTelemetryRow {
+    /// Shard count of the run this snapshot belongs to.
+    pub shards: usize,
+    /// The full registry snapshot taken after the run.
+    pub snapshot: TelemetrySnapshot,
 }
 
 #[cfg(test)]
@@ -243,6 +288,29 @@ mod tests {
         assert_eq!(a.mse, b.mse);
         assert_eq!(a.max_abs_error, b.max_abs_error);
         assert_eq!(a.total_entries, b.total_entries);
+    }
+
+    #[test]
+    fn telemetry_snapshot_covers_the_run() {
+        let mut config = IngestSimConfig::for_users(2_000);
+        config.dims = 16;
+        config.reported_dims = 2;
+        config.shards = 2;
+        let registry = Registry::new();
+        let summary = simulate_ingest_with(&config, &registry).unwrap();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("ingest_reports_total"), Some(2_000));
+        let per_shard = snapshot.counter("ingest_shard000_reports_total").unwrap()
+            + snapshot.counter("ingest_shard001_reports_total").unwrap();
+        assert_eq!(per_shard, 2_000);
+        assert!(snapshot.histogram("ingest_batch_flush_ns").unwrap().count > 0);
+        assert!(snapshot.gauge("phase_ingest_seconds").unwrap() > 0.0);
+        assert!(snapshot.gauge("phase_estimate_seconds").unwrap() > 0.0);
+        assert!(summary.ingest_secs > 0.0 && summary.estimate_secs > 0.0);
+        let total = summary.ingest_secs + summary.estimate_secs;
+        assert!((summary.elapsed_secs - total).abs() < 1e-12);
+        assert_eq!(summary.batch_capacity, config.batch_capacity);
+        assert_eq!(summary.seed, config.seed);
     }
 
     #[test]

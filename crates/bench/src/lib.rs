@@ -34,7 +34,9 @@ pub mod output;
 pub mod runner;
 pub mod scale;
 
-pub use ingest_driver::{simulate_ingest, IngestSimConfig, IngestSimSummary};
+pub use ingest_driver::{
+    simulate_ingest, simulate_ingest_with, IngestSimConfig, IngestSimSummary, ShardTelemetryRow,
+};
 pub use output::{write_json_results, TextTable};
-pub use runner::{average_mse, MsePoint, RunnerConfig};
+pub use runner::{average_mse, average_mse_with, MsePoint, RunnerConfig};
 pub use scale::ExperimentScale;

@@ -12,6 +12,7 @@ use hdldp_framework::DeviationModel;
 use hdldp_math::stats;
 use hdldp_mechanisms::MechanismKind;
 use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use hdldp_telemetry::Registry;
 use rayon::prelude::*;
 use serde::Serialize;
 
@@ -43,6 +44,7 @@ pub struct MsePoint {
 }
 
 /// Run the experiment point and average the three MSEs over the trials.
+/// Telemetry is disabled; [`average_mse_with`] records into a registry.
 ///
 /// # Errors
 /// Propagates pipeline, framework and re-calibration errors (boxed, since they
@@ -51,13 +53,27 @@ pub fn average_mse(
     dataset: &Dataset,
     config: RunnerConfig,
 ) -> Result<MsePoint, Box<dyn std::error::Error + Send + Sync>> {
+    average_mse_with(dataset, config, &Registry::disabled())
+}
+
+/// [`average_mse`] recording pipeline phase timings, ingest metrics and
+/// re-calibration metrics into `registry` (all trials share the same cells).
+///
+/// # Errors
+/// Same conditions as [`average_mse`].
+pub fn average_mse_with(
+    dataset: &Dataset,
+    config: RunnerConfig,
+    registry: &Registry,
+) -> Result<MsePoint, Box<dyn std::error::Error + Send + Sync>> {
     if config.trials == 0 {
         return Err("trials must be positive".into());
     }
     let truth = dataset.true_means();
 
     // The deviation model depends on the mechanism/budget/dataset, not on the
-    // trial seed, so build it once outside the trial loop.
+    // trial seed, so build it once outside the trial loop; the re-calibrators
+    // likewise, so every trial records into the same metric cells.
     let probe = MeanEstimationPipeline::new(
         config.mechanism,
         PipelineConfig::new(config.total_epsilon, config.reported_dims, config.seed),
@@ -65,6 +81,8 @@ pub fn average_mse(
     let expected_reports =
         dataset.users() as f64 * config.reported_dims as f64 / dataset.dims() as f64;
     let model = DeviationModel::for_dataset(probe.mechanism(), dataset, expected_reports.max(1.0))?;
+    let hdr_l1 = Hdr4me::l1().with_telemetry(registry);
+    let hdr_l2 = Hdr4me::l2().with_telemetry(registry);
 
     type TrialResult = Result<(f64, f64, f64), Box<dyn std::error::Error + Send + Sync>>;
     let results: Vec<TrialResult> = (0..config.trials)
@@ -77,11 +95,12 @@ pub fn average_mse(
                     config.reported_dims,
                     config.seed.wrapping_add(trial as u64 * 7919),
                 ),
-            )?;
+            )?
+            .with_telemetry(registry);
             let estimate = pipeline.run(dataset)?;
             let naive = stats::mse(&estimate.estimated_means, &truth)?;
-            let l1 = Hdr4me::l1().recalibrate(&estimate.estimated_means, &model)?;
-            let l2 = Hdr4me::l2().recalibrate(&estimate.estimated_means, &model)?;
+            let l1 = hdr_l1.recalibrate(&estimate.estimated_means, &model)?;
+            let l2 = hdr_l2.recalibrate(&estimate.estimated_means, &model)?;
             Ok((
                 naive,
                 stats::mse(&l1.enhanced_means, &truth)?,
@@ -166,6 +185,26 @@ mod tests {
             .naive
         };
         assert!(at(0.2) > at(3.2));
+    }
+
+    #[test]
+    fn telemetry_records_runs_and_recalibrations() {
+        let registry = Registry::new();
+        let cfg = RunnerConfig {
+            mechanism: MechanismKind::Laplace,
+            total_epsilon: 1.0,
+            reported_dims: 40,
+            trials: 2,
+            seed: 9,
+        };
+        average_mse_with(&dataset(), cfg, &registry).unwrap();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("pipeline_runs_total"), Some(2));
+        // Two trials, each re-calibrated with L1 and with L2.
+        assert_eq!(snapshot.counter("recalibrations_total"), Some(4));
+        assert_eq!(snapshot.histogram("pipeline_ingest_ns").unwrap().count, 2);
+        assert_eq!(snapshot.histogram("recalibrate_solve_ns").unwrap().count, 4);
+        assert!(snapshot.counter("ingest_reports_total").unwrap_or(0) > 0);
     }
 
     #[test]

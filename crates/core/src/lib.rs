@@ -31,6 +31,8 @@
 //! * [`recalibrate`] — the [`Hdr4me`] re-calibrator tying everything together.
 //! * [`guarantees`] — the Theorem 3/4 improvement probabilities.
 //! * [`frequency`] — the extension to frequency estimation (Section V-C).
+//! * [`telemetry`] — the pre-registered runtime-metric bundle recalibrators
+//!   record into when built with [`Hdr4me::with_telemetry`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,12 +46,14 @@ pub mod pgd;
 pub mod recalibrate;
 pub mod regularization;
 pub mod solver;
+pub mod telemetry;
 
 pub use error::CoreError;
 pub use guarantees::ImprovementGuarantee;
 pub use lambda::LambdaSelector;
 pub use recalibrate::{Hdr4me, Hdr4meConfig, RecalibratedMean};
 pub use regularization::Regularization;
+pub use telemetry::RecalibrationMetrics;
 
 /// Convenience result alias for HDR4ME operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -15,10 +15,12 @@
 //! means it costs no additional privacy budget.
 
 use crate::solver::{solve_l1, solve_l2};
+use crate::telemetry::RecalibrationMetrics;
 use crate::{CoreError, ImprovementGuarantee, LambdaSelector, Regularization};
 use hdldp_framework::DeviationModel;
 use hdldp_mechanisms::Mechanism;
 use hdldp_protocol::MeanEstimate;
+use hdldp_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the HDR4ME re-calibration.
@@ -60,15 +62,32 @@ pub struct RecalibratedMean {
 }
 
 /// The HDR4ME re-calibrator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Re-calibrators built with [`Hdr4me::with_telemetry`] count completed
+/// re-calibrations and time the weight-selection and solver phases (see the
+/// metric table in [`crate::telemetry`]); by default telemetry is disabled
+/// and every recording site is a single branch. Clones share the same metric
+/// cells.
+#[derive(Debug, Clone)]
 pub struct Hdr4me {
     config: Hdr4meConfig,
+    metrics: RecalibrationMetrics,
 }
 
 impl Hdr4me {
     /// Create a re-calibrator with the given configuration.
     pub fn new(config: Hdr4meConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            metrics: RecalibrationMetrics::register(&Registry::disabled()),
+        }
+    }
+
+    /// Record re-calibration metrics into `registry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.metrics = RecalibrationMetrics::register(registry);
+        self
     }
 
     /// Create an L1 re-calibrator with default weight selection.
@@ -103,14 +122,19 @@ impl Hdr4me {
                 actual: estimated_means.len(),
             });
         }
+        let weights_timer = self.metrics.weights_ns.start();
         let weights = self
             .config
             .lambda
             .weights(model, self.config.regularization);
+        weights_timer.stop();
+        let solve_timer = self.metrics.solve_ns.start();
         let enhanced_means = match self.config.regularization {
             Regularization::L1 => solve_l1(estimated_means, &weights)?,
             Regularization::L2 => solve_l2(estimated_means, &weights)?,
         };
+        solve_timer.stop();
+        self.metrics.recalibrations.inc();
         let guarantee = ImprovementGuarantee::evaluate(model, self.config.regularization);
         Ok(RecalibratedMean {
             enhanced_means,

@@ -1,0 +1,63 @@
+//! Metric bundle instrumenting the HDR4ME re-calibrator.
+//!
+//! Mirrors the pattern of `hdldp_protocol::telemetry`: the re-calibrator
+//! registers its handles once against an [`hdldp_telemetry::Registry`] and
+//! records into shared atomic cells. A bundle registered against a disabled
+//! registry carries only no-op handles, so an un-instrumented
+//! [`crate::Hdr4me`] pays one branch per recording site.
+//!
+//! Metric names (documented in `docs/OBSERVABILITY.md`):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `recalibrations_total` | counter | completed re-calibrations |
+//! | `recalibrate_weights_ns` | histogram | `λ*` weight-selection latency |
+//! | `recalibrate_solve_ns` | histogram | closed-form solver latency |
+
+use hdldp_telemetry::{Counter, LatencyHistogram, Registry};
+
+/// Pre-registered handles for the [`crate::Hdr4me`] re-calibrator.
+#[derive(Debug, Clone)]
+pub struct RecalibrationMetrics {
+    /// Completed re-calibrations (`recalibrations_total`).
+    pub recalibrations: Counter,
+    /// Latency of deriving the `λ*` weights (`recalibrate_weights_ns`).
+    pub weights_ns: LatencyHistogram,
+    /// Latency of the closed-form solve (`recalibrate_solve_ns`).
+    pub solve_ns: LatencyHistogram,
+}
+
+impl RecalibrationMetrics {
+    /// Register the re-calibrator's metrics in `registry`. Against a disabled
+    /// registry every handle is a no-op.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            recalibrations: registry.counter("recalibrations_total"),
+            weights_ns: registry.histogram("recalibrate_weights_ns"),
+            solve_ns: registry.histogram("recalibrate_solve_ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registration_is_inert() {
+        let m = RecalibrationMetrics::register(&Registry::disabled());
+        assert!(!m.recalibrations.is_enabled());
+        assert!(!m.weights_ns.is_enabled());
+        assert!(!m.solve_ns.is_enabled());
+    }
+
+    #[test]
+    fn enabled_registration_shares_the_registry_cells() {
+        let registry = Registry::new();
+        let a = RecalibrationMetrics::register(&registry);
+        let b = RecalibrationMetrics::register(&registry);
+        a.recalibrations.inc();
+        b.recalibrations.inc();
+        assert_eq!(registry.snapshot().counter("recalibrations_total"), Some(2));
+    }
+}

@@ -24,6 +24,16 @@ pub enum ProtocolError {
         /// The dimension with zero reports.
         dimension: usize,
     },
+    /// A utility metric could not be computed from the given inputs.
+    MetricComputation {
+        /// The metric being computed (`"mse"`, `"l2_deviation"`, ...).
+        metric: &'static str,
+        /// The offending input: `"estimate"`, `"truth"`, or
+        /// `"estimate/truth"` when the fault involves both (length mismatch).
+        input: &'static str,
+        /// Description of what is wrong with the input.
+        reason: String,
+    },
     /// An error bubbled up from mechanism construction.
     Mechanism(hdldp_mechanisms::MechanismError),
     /// An error bubbled up from dataset handling.
@@ -41,6 +51,13 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::EmptyDimension { dimension } => {
                 write!(f, "dimension {dimension} received no reports")
+            }
+            ProtocolError::MetricComputation {
+                metric,
+                input,
+                reason,
+            } => {
+                write!(f, "cannot compute `{metric}`: bad `{input}` ({reason})")
             }
             ProtocolError::Mechanism(e) => write!(f, "mechanism error: {e}"),
             ProtocolError::Data(e) => write!(f, "data error: {e}"),
@@ -86,6 +103,13 @@ mod tests {
             dims: 5,
         };
         assert!(e.to_string().contains("10"));
+        let e = ProtocolError::MetricComputation {
+            metric: "mse",
+            input: "truth",
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("mse"));
+        assert!(e.to_string().contains("truth"));
         let e: ProtocolError = hdldp_mechanisms::MechanismError::InvalidEpsilon(-1.0).into();
         assert!(e.to_string().contains("mechanism"));
         assert!(std::error::Error::source(&e).is_some());

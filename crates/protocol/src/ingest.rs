@@ -31,7 +31,9 @@
 //! ```
 
 use crate::shard::{ShardAccumulator, ShardRouter};
+use crate::telemetry::IngestMetrics;
 use crate::{ProtocolError, Report};
+use hdldp_telemetry::Registry;
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -253,6 +255,13 @@ impl Default for IngestConfig {
 /// Both paths accumulate each shard's reports in increasing user-id order,
 /// so for a fixed shard count the engine's state is a pure function of the
 /// submitted reports — independent of thread count and scheduling.
+///
+/// Engines built with [`IngestEngine::with_telemetry`] record runtime metrics
+/// (reports, rejects, batch-flush and merge latency, per-shard load) into the
+/// given [`Registry`] at **flush granularity** — once per
+/// [`IngestConfig::batch_capacity`] reports — so the per-report submit path
+/// performs no atomic traffic. [`IngestEngine::new`] wires the engine to a
+/// disabled registry, which reduces every recording site to one branch.
 #[derive(Debug, Clone)]
 pub struct IngestEngine {
     dims: usize,
@@ -260,15 +269,31 @@ pub struct IngestEngine {
     batch_capacity: usize,
     pending: Vec<ReportBatch>,
     shards: Vec<ShardAccumulator>,
+    metrics: IngestMetrics,
 }
 
 impl IngestEngine {
-    /// Create an engine for `dims`-dimensional reports.
+    /// Create an engine for `dims`-dimensional reports with telemetry
+    /// disabled (equivalent to [`IngestEngine::with_telemetry`] against
+    /// [`Registry::disabled`]).
     ///
     /// # Errors
     /// Returns [`ProtocolError::InvalidConfig`] when `dims` is zero or too
     /// large for the batch index width.
     pub fn new(dims: usize, config: IngestConfig) -> crate::Result<Self> {
+        Self::with_telemetry(dims, config, &Registry::disabled())
+    }
+
+    /// Create an engine that records runtime metrics into `registry` (see the
+    /// metric table in [`crate::telemetry`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`IngestEngine::new`].
+    pub fn with_telemetry(
+        dims: usize,
+        config: IngestConfig,
+        registry: &Registry,
+    ) -> crate::Result<Self> {
         let router = ShardRouter::new(config.shards())?;
         let pending = (0..config.shards())
             .map(|_| ReportBatch::new(dims, config.batch_capacity()))
@@ -282,6 +307,7 @@ impl IngestEngine {
             batch_capacity: config.batch_capacity(),
             pending,
             shards,
+            metrics: IngestMetrics::register(registry, config.shards()),
         })
     }
 
@@ -337,9 +363,16 @@ impl IngestEngine {
     pub fn submit_entries(&mut self, user_id: u64, entries: &[(usize, f64)]) -> crate::Result<()> {
         let shard = self.router.route(user_id);
         let batch = &mut self.pending[shard];
-        batch.push_entries(entries)?;
+        if let Err(e) = batch.push_entries(entries) {
+            self.metrics.rejects.inc();
+            return Err(e);
+        }
         if batch.is_full() {
+            let timer = self.metrics.flush_timer();
             self.shards[shard].ingest_batch(batch)?;
+            timer.stop();
+            self.metrics
+                .record_flush(shard, batch.reports(), batch.entries());
             batch.clear();
         }
         Ok(())
@@ -351,11 +384,15 @@ impl IngestEngine {
     /// include buffered reports, so flushing is only needed to bound memory
     /// or before comparing shard state directly.
     pub fn flush(&mut self) {
-        for (shard, batch) in self.shards.iter_mut().zip(&mut self.pending) {
+        for (index, (shard, batch)) in self.shards.iter_mut().zip(&mut self.pending).enumerate() {
             if !batch.is_empty() {
+                let timer = self.metrics.flush_timer();
                 shard
                     .ingest_batch(batch)
                     .expect("pending batch dims match the shard by construction");
+                timer.stop();
+                self.metrics
+                    .record_flush(index, batch.reports(), batch.entries());
                 batch.clear();
             }
         }
@@ -386,6 +423,7 @@ impl IngestEngine {
         let router = self.router;
         let capacity = self.batch_capacity;
         let fill = &fill;
+        let metrics = self.metrics.clone();
 
         let partials: Vec<crate::Result<ShardAccumulator>> = (0..self.shard_count())
             .into_par_iter()
@@ -401,11 +439,19 @@ impl IngestEngine {
                     fill(user_id, &mut scratch)?;
                     batch.push_entries(&scratch)?;
                     if batch.is_full() {
+                        let timer = metrics.flush_timer();
                         acc.ingest_batch(&batch)?;
+                        timer.stop();
+                        metrics.record_flush(shard, batch.reports(), batch.entries());
                         batch.clear();
                     }
                 }
-                acc.ingest_batch(&batch)?;
+                if !batch.is_empty() {
+                    let timer = metrics.flush_timer();
+                    acc.ingest_batch(&batch)?;
+                    timer.stop();
+                    metrics.record_flush(shard, batch.reports(), batch.entries());
+                }
                 Ok(acc)
             })
             .collect();
@@ -432,6 +478,8 @@ impl IngestEngine {
     /// # Errors
     /// Propagates accumulator errors (impossible for a well-formed engine).
     pub fn merged(&self) -> crate::Result<ShardAccumulator> {
+        self.metrics.merges.inc();
+        let _timer = self.metrics.merge_ns.start();
         let mut total = ShardAccumulator::new(self.dims)?;
         for (shard, batch) in self.shards.iter().zip(&self.pending) {
             total.merge(shard)?;

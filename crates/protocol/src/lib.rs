@@ -29,6 +29,8 @@
 //!   running on the sharded engine.
 //! * [`frequency`] — end-to-end frequency estimation over categorical data.
 //! * [`metrics`] — the paper's utility metrics for a finished run.
+//! * [`telemetry`] — pre-registered runtime-metric bundles (ingest counters,
+//!   phase timers) recording into an [`hdldp_telemetry::Registry`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,6 +46,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod report;
 pub mod shard;
+pub mod telemetry;
 
 pub use aggregator::Aggregator;
 pub use budget::BudgetSplit;
@@ -55,6 +58,7 @@ pub use metrics::UtilityReport;
 pub use pipeline::{MeanEstimate, MeanEstimationPipeline, PipelineConfig};
 pub use report::Report;
 pub use shard::{ShardAccumulator, ShardRouter};
+pub use telemetry::{IngestMetrics, PipelineMetrics};
 
 /// Convenience result alias for protocol operations.
 pub type Result<T> = std::result::Result<T, ProtocolError>;

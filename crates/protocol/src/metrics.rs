@@ -21,18 +21,55 @@ impl UtilityReport {
     /// Compute all metrics for an estimate against the ground truth.
     ///
     /// # Errors
-    /// Returns [`ProtocolError::InvalidConfig`] when the vectors are empty or
-    /// of different lengths.
+    /// Returns [`ProtocolError::MetricComputation`] naming the offending
+    /// input — `"estimate"` or `"truth"` when one vector alone is at fault
+    /// (empty), `"estimate/truth"` when the fault involves both (length
+    /// mismatch) — so the caller can tell a bad estimate from bad ground
+    /// truth.
     pub fn compare(estimate: &[f64], truth: &[f64]) -> crate::Result<Self> {
-        let to_err = |e: hdldp_math::MathError| ProtocolError::InvalidConfig {
-            name: "estimate",
-            reason: e.to_string(),
+        // Emptiness is checked before the length comparison so an empty
+        // vector is blamed by name instead of drowning in a generic
+        // mismatch: an empty ground truth is a `truth` fault, not an
+        // `estimate` one.
+        let empty_input = match (estimate.is_empty(), truth.is_empty()) {
+            (true, true) => Some("estimate/truth"),
+            (true, false) => Some("estimate"),
+            (false, true) => Some("truth"),
+            (false, false) => None,
+        };
+        if let Some(input) = empty_input {
+            return Err(ProtocolError::MetricComputation {
+                metric: "utility",
+                input,
+                reason: "input vector is empty".into(),
+            });
+        }
+        if estimate.len() != truth.len() {
+            return Err(ProtocolError::MetricComputation {
+                metric: "utility",
+                input: "estimate/truth",
+                reason: format!(
+                    "length mismatch: estimate has {} dimensions, truth has {}",
+                    estimate.len(),
+                    truth.len()
+                ),
+            });
+        }
+        // The inputs are validated above, so stats errors cannot name a bad
+        // input; map any residual failure without blaming the estimate.
+        let to_err = |metric: &'static str| {
+            move |e: hdldp_math::MathError| ProtocolError::MetricComputation {
+                metric,
+                input: "estimate/truth",
+                reason: e.to_string(),
+            }
         };
         Ok(Self {
-            mse: stats::mse(estimate, truth).map_err(to_err)?,
-            l2_deviation: stats::l2_deviation(estimate, truth).map_err(to_err)?,
-            mae: stats::mae(estimate, truth).map_err(to_err)?,
-            max_abs_error: stats::max_abs_deviation(estimate, truth).map_err(to_err)?,
+            mse: stats::mse(estimate, truth).map_err(to_err("mse"))?,
+            l2_deviation: stats::l2_deviation(estimate, truth).map_err(to_err("l2_deviation"))?,
+            mae: stats::mae(estimate, truth).map_err(to_err("mae"))?,
+            max_abs_error: stats::max_abs_deviation(estimate, truth)
+                .map_err(to_err("max_abs_error"))?,
         })
     }
 }
@@ -63,9 +100,34 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_lengths_error() {
-        assert!(UtilityReport::compare(&[1.0], &[1.0, 2.0]).is_err());
-        assert!(UtilityReport::compare(&[], &[]).is_err());
+    fn errors_name_the_offending_input() {
+        let input_of =
+            |estimate: &[f64], truth: &[f64]| match UtilityReport::compare(estimate, truth) {
+                Err(ProtocolError::MetricComputation { input, .. }) => input,
+                other => panic!("expected MetricComputation, got {other:?}"),
+            };
+        assert_eq!(input_of(&[], &[1.0]), "estimate");
+        assert_eq!(input_of(&[1.0], &[]), "truth");
+        assert_eq!(input_of(&[], &[]), "estimate/truth");
+        assert_eq!(input_of(&[1.0], &[1.0, 2.0]), "estimate/truth");
+        // Non-finite values are computed through, not rejected.
+        assert!(UtilityReport::compare(&[1.0], &[f64::NAN]).is_ok());
+    }
+
+    #[test]
+    fn length_mismatch_reports_both_lengths() {
+        match UtilityReport::compare(&[1.0, 2.0, 3.0], &[1.0]) {
+            Err(ProtocolError::MetricComputation {
+                metric,
+                input,
+                reason,
+            }) => {
+                assert_eq!(metric, "utility");
+                assert_eq!(input, "estimate/truth");
+                assert!(reason.contains('3') && reason.contains('1'), "{reason}");
+            }
+            other => panic!("expected MetricComputation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -9,12 +9,15 @@
 //! deterministic given the configured seed while paper-scale collections stay
 //! fast.
 
+use crate::telemetry::{PipelineMetrics, PERTURB_SAMPLE_EVERY};
 use crate::{BudgetSplit, Client, IngestConfig, IngestEngine, ProtocolError};
 use hdldp_data::Dataset;
 use hdldp_mechanisms::{build_mechanism, Mechanism, MechanismKind};
+use hdldp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of one mean-estimation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,15 +66,24 @@ impl MeanEstimate {
 }
 
 /// End-to-end mean estimation pipeline for one mechanism.
+///
+/// Pipelines built with [`MeanEstimationPipeline::with_telemetry`] time each
+/// phase of every run — perturbation (sampled every
+/// [`PERTURB_SAMPLE_EVERY`]-th user), collection, estimation — and propagate
+/// the registry to the ingest engine they run on. Without it telemetry is
+/// disabled and every recording site is a single branch.
 pub struct MeanEstimationPipeline {
     mechanism: Box<dyn Mechanism>,
     kind: MechanismKind,
     config: PipelineConfig,
+    registry: Registry,
+    metrics: PipelineMetrics,
 }
 
 impl MeanEstimationPipeline {
     /// Build a pipeline for the given mechanism kind; the mechanism is
-    /// instantiated with the per-dimension budget `ε/m`.
+    /// instantiated with the per-dimension budget `ε/m`. Telemetry is
+    /// disabled; chain [`MeanEstimationPipeline::with_telemetry`] to enable.
     ///
     /// # Errors
     /// Returns [`ProtocolError::InvalidConfig`] for an invalid budget split and
@@ -79,11 +91,24 @@ impl MeanEstimationPipeline {
     pub fn new(kind: MechanismKind, config: PipelineConfig) -> crate::Result<Self> {
         let budget = BudgetSplit::new(config.total_epsilon, config.reported_dims)?;
         let mechanism = build_mechanism(kind, budget.per_dimension())?;
+        let registry = Registry::disabled();
+        let metrics = PipelineMetrics::register(&registry);
         Ok(Self {
             mechanism,
             kind,
             config,
+            registry,
+            metrics,
         })
+    }
+
+    /// Record phase timings and ingest metrics of every run into `registry`
+    /// (see the metric table in [`crate::telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self.metrics = PipelineMetrics::register(registry);
+        self
     }
 
     /// The mechanism kind this pipeline perturbs with.
@@ -108,6 +133,7 @@ impl MeanEstimationPipeline {
     /// [`ProtocolError::EmptyDimension`] in the (vanishingly unlikely at
     /// realistic scales) event that some dimension received no report.
     pub fn run(&self, dataset: &Dataset) -> crate::Result<MeanEstimate> {
+        self.metrics.runs.inc();
         let dims = dataset.dims();
         let budget = BudgetSplit::new(self.config.total_epsilon, self.config.reported_dims)?;
         let client = Client::new(self.mechanism.as_ref(), budget, dims)?;
@@ -116,22 +142,42 @@ impl MeanEstimationPipeline {
         // thread; each shard batches its reports locally and the partial
         // sums/counts are merged on read (exact).
         let seed = self.config.seed;
-        let mut engine = IngestEngine::new(dims, IngestConfig::per_thread())?;
+        let perturb_ns = self.metrics.perturb_ns.clone();
+        // Only read the clock when the histogram actually records, and even
+        // then only for every PERTURB_SAMPLE_EVERY-th user, so timing stays
+        // negligible against million-user collections.
+        let sample_perturb = perturb_ns.is_enabled();
+        let mut engine =
+            IngestEngine::with_telemetry(dims, IngestConfig::per_thread(), &self.registry)?;
+        let ingest_timer = self.metrics.ingest_ns.start();
         engine.ingest_partitioned(0..dataset.users() as u64, |user, out| {
             // Deterministic per-user stream: SplitMix-style mixing of the
             // run seed and the user index.
             let user_seed = seed.wrapping_add((user + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut rng = StdRng::seed_from_u64(user_seed);
             let row = dataset.row(user as usize).map_err(ProtocolError::from)?;
-            client.perturb_tuple_into(row, &mut rng, out)
+            if sample_perturb && user % PERTURB_SAMPLE_EVERY == 0 {
+                let started = Instant::now();
+                let result = client.perturb_tuple_into(row, &mut rng, out);
+                perturb_ns
+                    .record_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                result
+            } else {
+                client.perturb_tuple_into(row, &mut rng, out)
+            }
         })?;
+        ingest_timer.stop();
 
-        Ok(MeanEstimate {
-            estimated_means: engine.estimated_means()?,
+        let estimate_timer = self.metrics.estimate_ns.start();
+        let merged = engine.merged()?;
+        let estimate = MeanEstimate {
+            estimated_means: merged.means()?,
             true_means: dataset.true_means(),
-            report_counts: engine.report_counts()?,
+            report_counts: merged.counts(),
             per_dimension_epsilon: budget.per_dimension(),
-        })
+        };
+        estimate_timer.stop();
+        Ok(estimate)
     }
 
     /// Run the pipeline `trials` times with distinct seeds and return every
@@ -153,6 +199,8 @@ impl MeanEstimationPipeline {
                     )?,
                     kind: self.kind,
                     config,
+                    registry: self.registry.clone(),
+                    metrics: self.metrics.clone(),
                 };
                 pipeline.run(dataset)
             })

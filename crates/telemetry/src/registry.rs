@@ -1,0 +1,209 @@
+//! The metric registry: names metrics, owns their cells, snapshots them.
+//!
+//! Registration takes a lock (a `BTreeMap` insert — a setup-time cost, not a
+//! per-report one); recording through the returned handles is lock-free. The
+//! registry is a cheap cloneable handle itself, so one registry can be shared
+//! across the engine, the pipeline and the re-calibrator of a run.
+
+use crate::histogram::{HistogramCell, LatencyHistogram};
+use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell};
+use crate::snapshot::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The shared state of an enabled registry.
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+/// Names and owns metrics, and snapshots them into a [`TelemetrySnapshot`].
+///
+/// * [`Registry::new`] — an enabled registry: handles it returns record into
+///   shared atomic cells, deduplicated by name (registering the same name
+///   twice returns handles to the same cell).
+/// * [`Registry::disabled`] — the no-op registry: every returned handle is
+///   inert, registration allocates nothing, and
+///   [`Registry::snapshot`] is empty. Instrumented components take a
+///   `&Registry` unconditionally and stay zero-cost when handed this one.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Default for Registry {
+    /// An enabled registry (same as [`Registry::new`]).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Create an enabled registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// Create the no-op registry: handles record nothing, registration
+    /// allocates nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// `true` when handles returned by this registry actually record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => {
+                let mut counters = inner.counters.lock().expect("registry lock poisoned");
+                let cell = counters
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(CounterCell::default()));
+                Counter::live(Arc::clone(cell))
+            }
+        }
+    }
+
+    /// Register (or look up) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(inner) => {
+                let mut gauges = inner.gauges.lock().expect("registry lock poisoned");
+                let cell = gauges
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(GaugeCell::default()));
+                Gauge::live(Arc::clone(cell))
+            }
+        }
+    }
+
+    /// Register (or look up) the latency histogram `name`.
+    pub fn histogram(&self, name: &str) -> LatencyHistogram {
+        match &self.inner {
+            None => LatencyHistogram::noop(),
+            Some(inner) => {
+                let mut histograms = inner.histograms.lock().expect("registry lock poisoned");
+                let cell = histograms
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCell::default()));
+                LatencyHistogram::live(Arc::clone(cell))
+            }
+        }
+    }
+
+    /// Copy every metric into a point-in-time [`TelemetrySnapshot`], sorted by
+    /// metric name.
+    ///
+    /// Values are read with individually atomic loads, so a snapshot taken
+    /// while writers are recording is never torn — it is simply a valid state
+    /// somewhere between "before" and "after" the in-flight updates. A
+    /// disabled registry snapshots to the empty snapshot without allocating.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot::empty();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, cell)| crate::CounterSnapshot {
+                name: name.clone(),
+                value: cell.load(),
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, cell)| crate::GaugeSnapshot {
+                name: name.clone(),
+                value: cell.load(),
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, cell)| cell.summarize(name))
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        let c = registry.counter("a");
+        let g = registry.gauge("b");
+        let h = registry.histogram("c");
+        assert!(!c.is_enabled() && !g.is_enabled() && !h.is_enabled());
+        c.inc();
+        g.set(1.0);
+        h.record_ns(5);
+        let snapshot = registry.snapshot();
+        assert!(snapshot.is_empty());
+    }
+
+    #[test]
+    fn registration_deduplicates_by_name() {
+        let registry = Registry::new();
+        let a = registry.counter("shared");
+        let b = registry.counter("shared");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("shared"), Some(3));
+        assert_eq!(snapshot.counters.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let registry = Registry::new();
+        registry.counter("zeta");
+        registry.counter("alpha");
+        registry.counter("mid");
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn snapshot_covers_all_metric_kinds() {
+        let registry = Registry::new();
+        registry.counter("events").add(7);
+        registry.gauge("phase_secs").set(1.5);
+        let h = registry.histogram("latency_ns");
+        h.record_ns(100);
+        h.record_ns(200);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("events"), Some(7));
+        assert_eq!(snapshot.gauge("phase_secs"), Some(1.5));
+        let hist = snapshot.histogram("latency_ns").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum_ns, 300);
+        assert_eq!(hist.max_ns, 200);
+    }
+}

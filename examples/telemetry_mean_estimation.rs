@@ -12,6 +12,11 @@
 //! runs the same collection at two budgets to show both sides of the paper's
 //! guidance: HDR4ME helps when the noise dominates, and the Theorem 3/4
 //! guarantee warns when it would not.
+//!
+//! Fittingly for a telemetry scenario, the collection itself is observed: the
+//! pipeline and the re-calibrator record into an `hdldp_telemetry::Registry`,
+//! and the runtime-metrics snapshot (report counters, phase latency
+//! histograms) is printed at the end.
 
 use hdldp_core::{Hdr4me, ImprovementGuarantee, Regularization};
 use hdldp_data::CorrelatedDataset;
@@ -19,6 +24,7 @@ use hdldp_framework::DeviationModel;
 use hdldp_math::stats;
 use hdldp_mechanisms::MechanismKind;
 use hdldp_protocol::{MeanEstimationPipeline, PipelineConfig};
+use hdldp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,12 +39,14 @@ pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         dataset.dims()
     );
 
+    let registry = Registry::new();
     for (label, epsilon) in [("strict budget", 0.5), ("generous budget", 50.0)] {
         println!("=== {label}: eps = {epsilon} ===");
         let pipeline = MeanEstimationPipeline::new(
             MechanismKind::Laplace,
             PipelineConfig::new(epsilon, dataset.dims(), 1),
-        )?;
+        )?
+        .with_telemetry(&registry);
         let estimate = pipeline.run(&dataset)?;
         let naive_mse = estimate.utility()?.mse;
 
@@ -51,7 +59,9 @@ pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         );
 
         if guarantee.is_recommended(0.9) {
-            let result = Hdr4me::l1().recalibrate(&estimate.estimated_means, &model)?;
+            let result = Hdr4me::l1()
+                .with_telemetry(&registry)
+                .recalibrate(&estimate.estimated_means, &model)?;
             let mse = stats::mse(&result.enhanced_means, &estimate.true_means)?;
             println!("HDR4ME recommended -> applied L1: enhanced MSE = {mse:.5}");
         } else {
@@ -59,5 +69,8 @@ pub fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         }
         println!();
     }
+
+    println!("collector runtime metrics across both budgets:");
+    println!("{}", registry.snapshot().render_table());
     Ok(())
 }
