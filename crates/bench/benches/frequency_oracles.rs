@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the categorical frequency oracles: per-user
+//! perturbation and count-based estimation for GRR vs OUE at small and large
+//! category counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdldp_workloads::{CategoricalOracle, OracleKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CATEGORY_COUNTS: [usize; 2] = [16, 256];
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_perturb");
+    for kind in OracleKind::ALL {
+        for k in CATEGORY_COUNTS {
+            let oracle = CategoricalOracle::new(kind, k, 2.0).expect("valid oracle");
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &k, |b, &k| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut out = Vec::with_capacity(k);
+                let mut value = 0usize;
+                b.iter(|| {
+                    value = (value + 1) % k;
+                    out.clear();
+                    oracle
+                        .perturb_into(black_box(value), &mut rng, &mut out)
+                        .expect("value in domain");
+                    black_box(out.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_estimate");
+    for kind in OracleKind::ALL {
+        for k in CATEGORY_COUNTS {
+            let oracle = CategoricalOracle::new(kind, k, 2.0).expect("valid oracle");
+            // A fixed batch of activation counts from 10k perturbed reports.
+            let n = 10_000u64;
+            let values: Vec<usize> = (0..n as usize).map(|i| i % k).collect();
+            let mut counts = vec![0u64; k];
+            let mut rng = StdRng::seed_from_u64(5);
+            oracle
+                .accumulate_counts(&values, &mut rng, &mut counts)
+                .expect("values in domain");
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &k, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        oracle
+                            .estimate_from_counts(black_box(&counts), n)
+                            .expect("valid counts"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_estimate);
+criterion_main!(benches);

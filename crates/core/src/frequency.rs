@@ -159,4 +159,78 @@ mod tests {
             assert!(result.raw.weights.iter().all(|w| w.is_finite()));
         }
     }
+
+    /// Hand-build an estimate with the given raw frequency column (bypassing
+    /// the pipeline, so degenerate shapes can be exercised directly).
+    fn synthetic_estimate(raw: Vec<f64>, reports: u64) -> FrequencyEstimate {
+        let k = raw.len();
+        FrequencyEstimate {
+            estimated: vec![raw],
+            true_frequencies: vec![vec![1.0 / k as f64; k]],
+            report_counts: vec![reports],
+            per_entry_epsilon: 0.5,
+        }
+    }
+
+    fn unit_mechanism() -> impl hdldp_mechanisms::Mechanism {
+        // Square wave is natively on the one-hot entry domain [0, 1].
+        hdldp_mechanisms::SquareWaveMechanism::new(0.5).unwrap()
+    }
+
+    #[test]
+    fn single_category_collapses_to_certainty() {
+        // A dimension with one category: whatever the raw estimate says, the
+        // renormalized result is the point distribution {1.0}.
+        for raw in [0.3, 1.7, -0.2] {
+            let estimate = synthetic_estimate(vec![raw], 500);
+            for hdr in [Hdr4me::l1(), Hdr4me::l2()] {
+                let result = hdr
+                    .recalibrate_frequencies(&estimate, 0, &unit_mechanism())
+                    .unwrap();
+                assert_eq!(result.enhanced, vec![1.0], "raw = {raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn already_consistent_input_stays_a_distribution() {
+        // An input that is already a clean distribution must come back as a
+        // distribution — recalibration may shrink, but the consistency step
+        // restores sum-to-one and never pushes entries outside [0, 1].
+        let estimate = synthetic_estimate(vec![0.5, 0.3, 0.15, 0.05], 10_000);
+        for hdr in [Hdr4me::l1(), Hdr4me::l2()] {
+            let result = hdr
+                .recalibrate_frequencies(&estimate, 0, &unit_mechanism())
+                .unwrap();
+            let total: f64 = result.enhanced.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(result.enhanced.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            // Ordering of a well-separated consistent input is preserved.
+            assert!(result.enhanced[0] >= result.enhanced[3]);
+        }
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn recalibrated_frequencies_are_nonnegative_and_normalized(
+                raw in proptest::collection::vec(-0.3f64..1.3, 1..9),
+                reports in 10u64..100_000,
+                l1 in proptest::bool::ANY,
+            ) {
+                let estimate = synthetic_estimate(raw, reports);
+                let hdr = if l1 { Hdr4me::l1() } else { Hdr4me::l2() };
+                let result = hdr
+                    .recalibrate_frequencies(&estimate, 0, &unit_mechanism())
+                    .unwrap();
+                let total: f64 = result.enhanced.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                prop_assert!(result.enhanced.iter().all(|f| (0.0..=1.0).contains(f)));
+                prop_assert!(result.raw.weights.iter().all(|w| w.is_finite()));
+            }
+        }
+    }
 }

@@ -60,6 +60,23 @@ impl BudgetSplit {
     pub fn per_frequency_entry(&self) -> f64 {
         self.total_epsilon / (2.0 * self.reported_dims as f64)
     }
+
+    /// Per-level budget `ε/levels` for a hierarchical (dyadic-interval) range
+    /// query tree: each user's value lands in exactly one node per level, so
+    /// perturbing her level memberships with `ε/levels` each composes to `ε`
+    /// over the whole tree.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] when `levels` is zero.
+    pub fn per_level(&self, levels: usize) -> crate::Result<f64> {
+        if levels == 0 {
+            return Err(ProtocolError::InvalidConfig {
+                name: "levels",
+                reason: "a range-query tree needs at least one level".into(),
+            });
+        }
+        Ok(self.total_epsilon / levels as f64)
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +107,19 @@ mod tests {
         let b = BudgetSplit::new(2.0, 1).unwrap();
         assert_eq!(b.per_dimension(), 2.0);
         assert_eq!(b.per_frequency_entry(), 1.0);
+    }
+
+    #[test]
+    fn per_level_splits_across_tree_levels() {
+        let b = BudgetSplit::new(4.0, 1).unwrap();
+        assert_eq!(b.per_level(1).unwrap(), 4.0);
+        assert_eq!(b.per_level(8).unwrap(), 0.5);
+        // levels = 0 is a proper error, not a panic or a division by zero.
+        let err = b.per_level(0).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::InvalidConfig { name: "levels", .. }
+        ));
     }
 
     mod property {

@@ -41,9 +41,17 @@ pub struct FrequencyEstimate {
 impl FrequencyEstimate {
     /// Post-processed frequencies for one dimension: clipped into `[0, 1]` and
     /// renormalized to sum to 1 (the standard consistency step).
+    ///
+    /// NaN estimate entries are treated as 0 (infinities clip to the interval
+    /// ends like any other out-of-range value), and a degenerate column whose
+    /// clipped mass is zero falls back to the uniform distribution — the
+    /// result is always a valid distribution, never NaN.
     pub fn normalized(&self, dim: usize) -> Vec<f64> {
         let raw = &self.estimated[dim];
-        let clipped: Vec<f64> = raw.iter().map(|f| f.clamp(0.0, 1.0)).collect();
+        let clipped: Vec<f64> = raw
+            .iter()
+            .map(|f| if f.is_nan() { 0.0 } else { f.clamp(0.0, 1.0) })
+            .collect();
         let total: f64 = clipped.iter().sum();
         if total <= 0.0 {
             // Degenerate: fall back to the uniform distribution.
@@ -347,6 +355,33 @@ mod tests {
                 "dim {dim}: raw {raw}, norm {norm}"
             );
         }
+    }
+
+    #[test]
+    fn normalized_guards_degenerate_and_non_finite_columns() {
+        // Regression: an all-zero column must yield the uniform distribution,
+        // not NaNs from a 0/0 division — and NaN/∞ estimate entries must not
+        // poison the normalization either.
+        let estimate = FrequencyEstimate {
+            estimated: vec![
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![f64::NAN, f64::NAN],
+                vec![f64::NAN, 0.5, f64::INFINITY, -2.0],
+                vec![-1.0, -0.25],
+            ],
+            true_frequencies: vec![vec![0.25; 4], vec![0.5; 2], vec![0.25; 4], vec![0.5; 2]],
+            report_counts: vec![10, 10, 10, 10],
+            per_entry_epsilon: 1.0,
+        };
+        assert_eq!(estimate.normalized(0), vec![0.25; 4]);
+        assert_eq!(estimate.normalized(1), vec![0.5; 2]);
+        // NaN → 0, ∞ clips to 1, negatives clip to 0: {0, 0.5, 1, 0} / 1.5.
+        let n2 = estimate.normalized(2);
+        assert!(n2.iter().all(|f| f.is_finite()));
+        assert!((n2.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(n2, vec![0.0, 0.5 / 1.5, 1.0 / 1.5, 0.0]);
+        // All-negative clips to zero mass → uniform fallback.
+        assert_eq!(estimate.normalized(3), vec![0.5; 2]);
     }
 
     #[test]

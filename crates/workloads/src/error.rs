@@ -1,0 +1,102 @@
+//! Error type for the workloads layer.
+
+use std::fmt;
+
+/// Errors produced by the workloads crate.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// A categorical value lies outside the oracle's domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: usize,
+        /// The oracle's category count `k`.
+        categories: usize,
+    },
+    /// An error bubbled up from the collection protocol.
+    Protocol(hdldp_protocol::ProtocolError),
+    /// An error bubbled up from the HDR4ME re-calibration core.
+    Core(hdldp_core::CoreError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { name, reason } => {
+                write!(f, "invalid workload configuration `{name}`: {reason}")
+            }
+            WorkloadError::ValueOutOfDomain { value, categories } => {
+                write!(
+                    f,
+                    "categorical value {value} outside the oracle domain [0, {categories})"
+                )
+            }
+            WorkloadError::Protocol(e) => write!(f, "protocol error: {e}"),
+            WorkloadError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Protocol(e) => Some(e),
+            WorkloadError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdldp_protocol::ProtocolError> for WorkloadError {
+    fn from(e: hdldp_protocol::ProtocolError) -> Self {
+        WorkloadError::Protocol(e)
+    }
+}
+
+impl From<hdldp_core::CoreError> for WorkloadError {
+    fn from(e: hdldp_core::CoreError) -> Self {
+        WorkloadError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WorkloadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WorkloadError::InvalidConfig {
+            name: "epsilon",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        let e = WorkloadError::ValueOutOfDomain {
+            value: 9,
+            categories: 4,
+        };
+        assert!(e.to_string().contains("[0, 4)"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let p: WorkloadError =
+            hdldp_protocol::ProtocolError::EmptyDimension { dimension: 3 }.into();
+        assert!(p.source().is_some());
+        let c: WorkloadError = hdldp_core::CoreError::LengthMismatch {
+            expected: 2,
+            actual: 1,
+        }
+        .into();
+        assert!(c.source().is_some());
+    }
+}

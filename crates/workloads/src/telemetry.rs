@@ -1,0 +1,71 @@
+//! Metric handles for the workload layer.
+//!
+//! Registered against an [`hdldp_telemetry::Registry`]; against
+//! [`Registry::disabled`](hdldp_telemetry::Registry::disabled) every handle is
+//! a no-op, so un-instrumented runs pay one predictable branch per record.
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `workload_runs_total` | counter | workload executions (collect + estimate) |
+//! | `workload_reports_total` | counter | categorical reports perturbed |
+//! | `workload_collect_ns` | histogram | perturb + sharded ingest per run |
+//! | `workload_estimate_ns` | histogram | estimate readout + normalization per run |
+//! | `workload_recalibrate_ns` | histogram | HDR4ME re-calibration per dimension/level |
+//! | `workload_consistency_ns` | histogram | range-tree consistency pass per build |
+
+use hdldp_telemetry::{Counter, LatencyHistogram, Registry};
+
+/// Handles for the workload-layer metrics (see the module table).
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    /// Workload executions.
+    pub runs: Counter,
+    /// Categorical reports perturbed.
+    pub reports: Counter,
+    /// Perturbation + sharded ingest latency per run.
+    pub collect_ns: LatencyHistogram,
+    /// Estimate readout + normalization latency per run.
+    pub estimate_ns: LatencyHistogram,
+    /// HDR4ME re-calibration latency per dimension/level.
+    pub recalibrate_ns: LatencyHistogram,
+    /// Range-tree consistency pass latency per build.
+    pub consistency_ns: LatencyHistogram,
+}
+
+impl WorkloadMetrics {
+    /// Register the workload metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            runs: registry.counter("workload_runs_total"),
+            reports: registry.counter("workload_reports_total"),
+            collect_ns: registry.histogram("workload_collect_ns"),
+            estimate_ns: registry.histogram("workload_estimate_ns"),
+            recalibrate_ns: registry.histogram("workload_recalibrate_ns"),
+            consistency_ns: registry.histogram("workload_consistency_ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_metrics_when_enabled() {
+        let registry = Registry::new();
+        let metrics = WorkloadMetrics::register(&registry);
+        metrics.runs.inc();
+        metrics.reports.add(42);
+        metrics.collect_ns.record_ns(1_000);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("workload_runs_total"), Some(1));
+        assert_eq!(snapshot.counter("workload_reports_total"), Some(42));
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noops() {
+        let metrics = WorkloadMetrics::register(&Registry::disabled());
+        assert!(!metrics.runs.is_enabled());
+        metrics.runs.inc(); // must not panic
+    }
+}
