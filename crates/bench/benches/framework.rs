@@ -30,6 +30,45 @@ fn bench_model_construction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablations for the warm-path numbers above: the cold path (fresh dataset,
+/// so the memoised column profiles must be rebuilt), the bare profile kernel,
+/// and the pre-vectorisation reference construction.
+fn bench_model_construction_cold(c: &mut Criterion) {
+    let mechanism = build_mechanism(MechanismKind::Piecewise, 0.01).unwrap();
+    let data = dataset(1_000);
+
+    let mut group = c.benchmark_group("deviation_model_for_dataset_cold");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(1_000), &1_000usize, |b, _| {
+        b.iter(|| {
+            // Cloning drops the memoised profiles, forcing a full rebuild.
+            let fresh = data.clone();
+            black_box(DeviationModel::for_dataset(mechanism.as_ref(), &fresh, 1_000.0).unwrap())
+        })
+    });
+    group.finish();
+
+    // The bucketing kernel alone (always uncached): one pass over 2000x1000.
+    let mut group = c.benchmark_group("column_profile_kernel");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(1_000), &1_000usize, |b, _| {
+        // 64 buckets matches the framework's DEFAULT_VALUE_BUCKETS.
+        b.iter(|| black_box(data.profile_columns(64).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("deviation_model_reference");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(1_000), &1_000usize, |b, _| {
+        b.iter(|| {
+            black_box(
+                DeviationModel::for_dataset_reference(mechanism.as_ref(), &data, 1_000.0).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_box_probability(c: &mut Criterion) {
     let mut group = c.benchmark_group("box_probability");
     let mechanism = build_mechanism(MechanismKind::Laplace, 0.01).unwrap();
@@ -45,5 +84,27 @@ fn bench_box_probability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_construction, bench_box_probability);
+/// Box probability over genuinely distinct per-dimension approximations and
+/// suprema, so the batched path's run-length reuse cannot collapse the work.
+fn bench_box_probability_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("box_probability_distinct");
+    let mechanism = build_mechanism(MechanismKind::Laplace, 0.01).unwrap();
+    let data = dataset(1_000);
+    let model = DeviationModel::for_dataset(mechanism.as_ref(), &data, 1_000.0).unwrap();
+    let suprema: Vec<f64> = (0..1_000)
+        .map(|j| 0.5 + ((j as f64) * 0.11).sin().abs())
+        .collect();
+    group.bench_with_input(BenchmarkId::from_parameter(1_000), &1_000usize, |b, _| {
+        b.iter(|| black_box(model.box_probability(black_box(&suprema)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_construction,
+    bench_model_construction_cold,
+    bench_box_probability,
+    bench_box_probability_distinct,
+);
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! re-calibration adds essentially no computational burden at the collector.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdldp_core::pgd::{proximal_gradient_descent, PgdConfig};
+use hdldp_core::pgd::{proximal_gradient_descent, proximal_gradient_descent_reference, PgdConfig};
 use hdldp_core::solver::{solve_l1, solve_l2};
 use hdldp_core::Regularization;
 
@@ -45,9 +45,48 @@ fn bench_iterative_pgd(c: &mut Criterion) {
                 )
             })
         });
+        group.bench_with_input(BenchmarkId::new("l2", dims), &dims, |b, _| {
+            b.iter(|| {
+                black_box(
+                    proximal_gradient_descent(&estimate, &weights, Regularization::L2, config)
+                        .unwrap(),
+                )
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_closed_form, bench_iterative_pgd);
+/// Ablation: the pre-vectorisation per-coordinate PGD loop, for comparison
+/// against the fused-sweep rows above.
+fn bench_iterative_pgd_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdr4me_iterative_pgd_reference");
+    let config = PgdConfig {
+        step_size: 0.5,
+        max_iterations: 200,
+        tolerance: 1e-10,
+    };
+    let (estimate, weights) = inputs(1_000);
+    group.bench_with_input(BenchmarkId::new("l1", 1_000), &1_000usize, |b, _| {
+        b.iter(|| {
+            black_box(
+                proximal_gradient_descent_reference(
+                    &estimate,
+                    &weights,
+                    Regularization::L1,
+                    config,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_form,
+    bench_iterative_pgd,
+    bench_iterative_pgd_reference,
+);
 criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! under `src/bin/`; this library holds the shared machinery:
 //!
 //! * [`scale`] — paper-scale vs reduced-scale experiment sizing (`--full`).
+//! * [`mod@compare`] — diff two `BENCH_*.json` baselines; backs the
+//!   `bench_compare` binary and CI's perf-regression gate.
 //! * [`runner`] — run an LDP pipeline + HDR4ME over a dataset and average the
 //!   paper's MSE metric over repetitions.
 //! * [`ingest_driver`] — simulate millions of clients streaming reports into
@@ -29,11 +31,15 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod compare;
 pub mod ingest_driver;
 pub mod output;
 pub mod runner;
 pub mod scale;
 
+pub use compare::{
+    compare, parse_threshold, scrape_bench_json, BenchFile, BenchRecord, Comparison,
+};
 pub use ingest_driver::{
     simulate_ingest, simulate_ingest_with, IngestSimConfig, IngestSimSummary, ShardTelemetryRow,
 };

@@ -46,23 +46,18 @@ pub struct PgdSolution {
     pub converged: bool,
 }
 
-/// Run proximal gradient descent on
-/// `argmin_θ 0.5‖θ − θ̂‖² + R(λ ∘ θ)`.
-///
-/// # Errors
-/// Returns [`CoreError::InvalidConfig`] for an invalid step size, tolerance or
-/// iteration budget, and [`CoreError::LengthMismatch`] when `weights` and
-/// `estimate` differ in length.
-pub fn proximal_gradient_descent(
-    estimate: &[f64],
-    weights: &[f64],
-    regularization: Regularization,
-    config: PgdConfig,
-) -> crate::Result<PgdSolution> {
+/// Validate the shared PGD inputs.
+fn validate_pgd_inputs(estimate: &[f64], weights: &[f64], config: &PgdConfig) -> crate::Result<()> {
     if estimate.len() != weights.len() {
         return Err(CoreError::LengthMismatch {
             expected: estimate.len(),
             actual: weights.len(),
+        });
+    }
+    if weights.iter().any(|w| !(w.is_finite() && *w >= 0.0)) {
+        return Err(CoreError::InvalidConfig {
+            name: "weights",
+            reason: "regularization weights must be finite and non-negative".into(),
         });
     }
     if !(config.step_size > 0.0 && config.step_size <= 1.0) {
@@ -83,6 +78,107 @@ pub fn proximal_gradient_descent(
             reason: format!("must be non-negative, got {}", config.tolerance),
         });
     }
+    Ok(())
+}
+
+/// Run proximal gradient descent on
+/// `argmin_θ 0.5‖θ − θ̂‖² + R(λ ∘ θ)`.
+///
+/// The iteration operates on flat buffers: the η-scaled penalties (L1) or
+/// shrink denominators (L2) are hoisted out of the loop, and each iteration is
+/// one branch-free sweep over `(θ, θ̂, penalty)` — the regularizer is chosen
+/// once per iteration, not once per coordinate, so the inner loops vectorise.
+/// Produces the same iterates as [`proximal_gradient_descent_reference`]
+/// (possibly differing in the sign of exact zeros, which the L∞ convergence
+/// check does not observe).
+///
+/// # Errors
+/// Returns [`CoreError::InvalidConfig`] for an invalid step size, tolerance,
+/// iteration budget or negative/non-finite weights, and
+/// [`CoreError::LengthMismatch`] when `weights` and `estimate` differ in
+/// length.
+pub fn proximal_gradient_descent(
+    estimate: &[f64],
+    weights: &[f64],
+    regularization: Regularization,
+    config: PgdConfig,
+) -> crate::Result<PgdSolution> {
+    validate_pgd_inputs(estimate, weights, &config)?;
+
+    let eta = config.step_size;
+    // Iteration-invariant per-coordinate penalty: λ_j = η w_j for L1's
+    // threshold, 2 η w_j + 1 for L2's shrink denominator (the exact
+    // expressions `soft_threshold`/`l2_shrink` would evaluate every step).
+    let penalties: Vec<f64> = match regularization {
+        Regularization::L1 => weights.iter().map(|w| eta * w).collect(),
+        Regularization::L2 => weights.iter().map(|w| 2.0 * (eta * w) + 1.0).collect(),
+    };
+    let mut theta = vec![0.0; estimate.len()];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let max_change = match regularization {
+            Regularization::L1 => l1_sweep(&mut theta, estimate, &penalties, eta),
+            Regularization::L2 => l2_sweep(&mut theta, estimate, &penalties, eta),
+        };
+        if max_change <= config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(PgdSolution {
+        theta,
+        iterations,
+        converged,
+    })
+}
+
+/// One L1 iteration: gradient step plus branch-free soft threshold.
+///
+/// For λ ≥ 0 (validated), `max(|z| − λ, 0) · sign(z)` computes exactly the
+/// same values as the branchy `soft_threshold` — the subtractions round
+/// identically in both sign cases — except that a thresholded-to-zero
+/// coordinate inherits the sign of `z`'s zero.
+fn l1_sweep(theta: &mut [f64], estimate: &[f64], lambdas: &[f64], eta: f64) -> f64 {
+    let mut max_change: f64 = 0.0;
+    for ((t, &e), &lambda) in theta.iter_mut().zip(estimate).zip(lambdas) {
+        let z = *t - eta * (*t - e);
+        let next = (z.abs() - lambda).max(0.0).copysign(z);
+        max_change = max_change.max((next - *t).abs());
+        *t = next;
+    }
+    max_change
+}
+
+/// One L2 iteration: gradient step plus shrink by the hoisted denominator.
+fn l2_sweep(theta: &mut [f64], estimate: &[f64], denominators: &[f64], eta: f64) -> f64 {
+    let mut max_change: f64 = 0.0;
+    for ((t, &e), &denominator) in theta.iter_mut().zip(estimate).zip(denominators) {
+        let z = *t - eta * (*t - e);
+        let next = z / denominator;
+        max_change = max_change.max((next - *t).abs());
+        *t = next;
+    }
+    max_change
+}
+
+/// The pre-optimisation per-coordinate implementation of
+/// [`proximal_gradient_descent`], kept as an independently-coded oracle for
+/// the equivalence tests and the ablation benchmarks: it re-selects the
+/// regularizer and re-scales the penalty for every coordinate of every
+/// iteration, exactly as the original code did.
+///
+/// # Errors
+/// Same contract as [`proximal_gradient_descent`].
+pub fn proximal_gradient_descent_reference(
+    estimate: &[f64],
+    weights: &[f64],
+    regularization: Regularization,
+    config: PgdConfig,
+) -> crate::Result<PgdSolution> {
+    validate_pgd_inputs(estimate, weights, &config)?;
 
     let eta = config.step_size;
     let mut theta = vec![0.0; estimate.len()];
@@ -196,6 +292,46 @@ mod tests {
         assert!(sol.converged);
         for (a, b) in sol.theta.iter().zip(&closed) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_negative_or_non_finite_weights() {
+        let est = [1.0, 2.0];
+        for w in [[0.5, -0.1], [0.5, f64::NAN], [0.5, f64::INFINITY]] {
+            assert!(
+                proximal_gradient_descent(&est, &w, Regularization::L1, PgdConfig::default())
+                    .is_err()
+            );
+            assert!(proximal_gradient_descent_reference(
+                &est,
+                &w,
+                Regularization::L2,
+                PgdConfig::default()
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn vectorised_path_matches_reference() {
+        let est: Vec<f64> = (0..257).map(|j| (j as f64 * 0.37).sin() * 5.0).collect();
+        let w: Vec<f64> = (0..257).map(|j| 1.0 + (j % 7) as f64 * 0.3).collect();
+        for reg in [Regularization::L1, Regularization::L2] {
+            for step in [1.0, 0.5, 0.1] {
+                let config = PgdConfig {
+                    step_size: step,
+                    max_iterations: 500,
+                    tolerance: 1e-10,
+                };
+                let fast = proximal_gradient_descent(&est, &w, reg, config).unwrap();
+                let slow = proximal_gradient_descent_reference(&est, &w, reg, config).unwrap();
+                assert_eq!(fast.iterations, slow.iterations, "{reg:?} step {step}");
+                assert_eq!(fast.converged, slow.converged, "{reg:?} step {step}");
+                for (a, b) in fast.theta.iter().zip(&slow.theta) {
+                    assert!((a - b).abs() <= 1e-12, "{reg:?} step {step}: {a} vs {b}");
+                }
+            }
         }
     }
 

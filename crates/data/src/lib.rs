@@ -34,7 +34,7 @@ pub mod generators;
 pub mod normalize;
 
 pub use categorical::CategoricalDataset;
-pub use dataset::Dataset;
+pub use dataset::{ColumnProfiles, Dataset};
 pub use discretize::DiscreteValueDistribution;
 pub use error::DataError;
 pub use generators::{

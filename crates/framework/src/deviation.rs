@@ -54,8 +54,11 @@ impl DeviationApproximation {
                 reason: format!("must be positive and finite, got {reports}"),
             });
         }
-        let delta = values.expectation(|v| mechanism.bias(v));
-        let per_sample_variance = values.expectation(|v| mechanism.variance(v));
+        // One fused pass over the support instead of two `expectation`
+        // closures: same accumulation order, but a single dynamic dispatch per
+        // dimension (the concrete bias/variance bodies inline into the loop).
+        let (delta, per_sample_variance) =
+            mechanism.expected_moments(values.values(), values.probabilities());
         if !(per_sample_variance.is_finite() && per_sample_variance > 0.0) {
             return Err(FrameworkError::InvalidParameter {
                 name: "variance",

@@ -9,6 +9,8 @@
 //! analytical framework, and the HDR4ME re-calibration protocol:
 //!
 //! * [`erf`] — error function, complementary error function and their inverses.
+//! * [`cache`] — bit-keyed memoisation of `erf` for the framework's batched
+//!   box-probability passes.
 //! * [`normal`] — the Gaussian distribution (pdf, cdf, quantile, sampling).
 //! * [`laplace`] — the Laplace distribution (pdf, cdf, quantile, sampling).
 //! * [`integrate`] — one-dimensional numerical integration (Simpson, adaptive
@@ -26,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod erf;
 pub mod error;
 pub mod histogram;
@@ -37,6 +40,7 @@ pub mod quantile;
 pub mod stats;
 pub mod vector;
 
+pub use cache::ErfCache;
 pub use error::MathError;
 pub use histogram::Histogram;
 pub use laplace::Laplace;

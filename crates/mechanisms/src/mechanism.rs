@@ -146,6 +146,25 @@ pub trait Mechanism: Send + Sync {
         t + self.bias(t)
     }
 
+    /// The Lemma 3 moment pair `(E[δ(v)], E[Var[M(v)]])` over a discrete value
+    /// distribution: `values[z]` occurs with probability `probabilities[z]`.
+    ///
+    /// Equivalent to two `Σ p_z f(v_z)` expectations (same accumulation order,
+    /// starting from zero), but fused into one pass so the batched framework
+    /// paths pay one dynamic dispatch per *dimension* instead of one per value
+    /// — and monomorphization inlines the concrete `bias`/`variance` bodies
+    /// into the loop. Slices of unequal length are zipped to the shorter one,
+    /// matching `Iterator::zip`; callers pass distribution-validated slices.
+    fn expected_moments(&self, values: &[f64], probabilities: &[f64]) -> (f64, f64) {
+        let mut bias = 0.0;
+        let mut variance = 0.0;
+        for (&v, &p) in values.iter().zip(probabilities) {
+            bias += p * self.bias(v);
+            variance += p * self.variance(v);
+        }
+        (bias, variance)
+    }
+
     /// `true` when `δ(t) = 0` for every `t` (unbiased estimation).
     fn is_unbiased(&self) -> bool {
         false
@@ -190,6 +209,27 @@ mod tests {
         for kind in MechanismKind::PAPER_EVALUATED {
             assert!(MechanismKind::ALL.contains(&kind));
         }
+    }
+
+    #[test]
+    fn expected_moments_matches_separate_expectations() {
+        use crate::LaplaceMechanism;
+        let mechanism = LaplaceMechanism::new(0.5).unwrap();
+        let values = [-0.8, -0.1, 0.3, 0.9];
+        let probabilities = [0.1, 0.4, 0.3, 0.2];
+        let (bias, variance) = mechanism.expected_moments(&values, &probabilities);
+        let expected_bias: f64 = values
+            .iter()
+            .zip(&probabilities)
+            .map(|(&v, &p)| p * mechanism.bias(v))
+            .sum();
+        let expected_variance: f64 = values
+            .iter()
+            .zip(&probabilities)
+            .map(|(&v, &p)| p * mechanism.variance(v))
+            .sum();
+        assert_eq!(bias.to_bits(), expected_bias.to_bits());
+        assert_eq!(variance.to_bits(), expected_variance.to_bits());
     }
 
     #[test]
