@@ -1,0 +1,32 @@
+//! Clean fixture: a lib-category file that exercises the rule surface
+//! without tripping any rule.
+
+/// Errors are propagated, never unwrapped.
+pub fn checked_head(items: &[u32]) -> Option<u32> {
+    items.first().copied()
+}
+
+/// Iterators instead of indexing.
+pub fn sum(items: &[u32]) -> u64 {
+    items.iter().map(|&x| u64::from(x)).sum()
+}
+
+// hot-path: fixture of an allocation-free marked function
+pub fn hot_mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+// SAFETY: the caller guarantees `ptr` is valid for reads (fixture).
+pub fn guarded_read(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_test_uses_no_entropy() {
+        assert_eq!(sum(&[1, 2, 3]), 6);
+    }
+}

@@ -1,0 +1,9 @@
+//! Dirty fixture for `atomic-ordering-discipline`, non-telemetry side:
+//! raw atomics belong behind the telemetry primitives.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn raw_counter() -> u64 {
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}

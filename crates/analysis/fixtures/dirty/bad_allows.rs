@@ -1,0 +1,11 @@
+//! Dirty fixture for the `lint-allow` meta rule: malformed allow entries.
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(no-such-rule) the rule name does not exist
+    0
+}
+
+pub fn missing_justification(input: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib)
+    input.unwrap()
+}

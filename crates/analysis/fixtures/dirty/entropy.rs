@@ -1,0 +1,15 @@
+//! Dirty fixture for `deterministic-rng`: entropy sources that break seed
+//! replayability. Test scope is NOT exempt for this rule.
+
+pub fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_is_still_flagged() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}

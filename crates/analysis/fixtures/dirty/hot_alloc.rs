@@ -1,0 +1,17 @@
+//! Dirty fixture for `no-alloc-hot-path`: a `// hot-path` function that
+//! allocates, next to one that does not.
+
+// hot-path: fixture
+pub fn allocating_hot_path(n: usize) -> usize {
+    let scratch = vec![0u8; n];
+    scratch.len()
+}
+
+// hot-path: fixture
+pub fn clean_hot_path(n: usize) -> usize {
+    n.wrapping_mul(2)
+}
+
+pub fn unmarked_may_allocate(n: usize) -> Vec<u8> {
+    vec![0u8; n]
+}

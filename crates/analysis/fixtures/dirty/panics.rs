@@ -1,0 +1,41 @@
+//! Dirty fixture for `no-panic-in-lib`: every panic idiom the rule knows.
+//! Driven as `Category::Lib` by the fixture tests; line numbers are asserted
+//! exactly, so edits here must update `tests/lint_rules.rs`.
+
+pub fn unwraps(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn expects(input: Option<u32>) -> u32 {
+    input.expect("fixture")
+}
+
+pub fn panics() {
+    panic!("fixture");
+}
+
+pub fn unreachable_arm(x: bool) -> u32 {
+    match x {
+        true => 1,
+        false => unreachable!(),
+    }
+}
+
+pub fn indexes_a_tracked_vec(i: usize) -> u32 {
+    let items: Vec<u32> = vec![1, 2, 3];
+    items[i]
+}
+
+pub fn allowed_with_justification(input: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib) fixture: a justified allow suppresses the finding
+    input.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

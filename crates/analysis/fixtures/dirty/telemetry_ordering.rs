@@ -1,0 +1,14 @@
+//! Dirty fixture for `atomic-ordering-discipline`, telemetry side: driven
+//! with `crate_name = "telemetry"`, where non-Relaxed orderings need an
+//! `ordering-pair(name):` annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unannotated_acquire(cell: &AtomicU64) -> u64 {
+    cell.load(Ordering::Acquire)
+}
+
+pub fn annotated_release(cell: &AtomicU64) {
+    // ordering-pair(fixture-handoff): the matching Acquire is in unannotated_acquire above.
+    cell.store(1, Ordering::Release);
+}

@@ -1,0 +1,20 @@
+//! Dirty fixture for `unsafe-needs-safety-comment`.
+
+pub fn uncommented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+// SAFETY: the caller guarantees `ptr` is valid for reads (fixture).
+pub fn commented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+// The SAFETY line below sits four lines above the unsafe token, which is
+// outside the rule's three-line lookback window.
+// SAFETY: too far away to count.
+//
+//
+//
+pub fn comment_out_of_range(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

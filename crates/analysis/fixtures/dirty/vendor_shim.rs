@@ -1,0 +1,12 @@
+//! Dirty fixture for `vendor-drift`: vendored pub fns must carry a
+//! `Mirrors `...`` doc marker naming the upstream signature.
+
+/// A shim with no upstream marker.
+pub fn unmarked() -> u32 {
+    0
+}
+
+/// Mirrors `upstream::marked()`.
+pub fn marked() -> u32 {
+    0
+}

@@ -1,0 +1,109 @@
+//! `hdldp-lint` — the workspace lint driver.
+//!
+//! ```text
+//! hdldp-lint --workspace            # scan the enclosing workspace
+//! hdldp-lint --root <dir>           # scan an explicit tree
+//! hdldp-lint --list-rules           # print the rule catalogue
+//! ```
+//!
+//! Exit status is 0 when the scan is clean, 1 when violations were found,
+//! and 2 on usage or I/O errors — CI treats any non-zero status as a
+//! blocking failure.
+
+use hdldp_analysis::rules::RuleId;
+use hdldp_analysis::scan::{find_workspace_root, scan_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: hdldp-lint [--workspace | --root <dir>] [--quiet] [--list-rules]\n\
+     \n\
+     --workspace   locate the enclosing cargo workspace and scan it\n\
+     --root <dir>  scan an explicit directory tree\n\
+     --quiet       print only the summary line\n\
+     --list-rules  print the rule catalogue and exit"
+}
+
+fn list_rules() {
+    for rule in RuleId::ALL {
+        println!("{:<28} {}", rule.name(), rule.description());
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {
+                let cwd = match std::env::current_dir() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("hdldp-lint: cannot read current dir: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match find_workspace_root(&cwd) {
+                    Some(r) => root = Some(r),
+                    None => {
+                        eprintln!(
+                            "hdldp-lint: no [workspace] Cargo.toml above {}",
+                            cwd.display()
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("hdldp-lint: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hdldp-lint: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hdldp-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for v in &report.violations {
+            println!("{v}");
+        }
+    }
+    println!(
+        "hdldp-lint: {} file(s) scanned, {} violation(s)",
+        report.files.len(),
+        report.violations.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

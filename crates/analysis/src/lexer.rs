@@ -1,0 +1,436 @@
+//! A lightweight lexical line model of Rust source files.
+//!
+//! The workspace builds offline, so the rule engine cannot lean on `syn` or
+//! `rustc` internals. It does not need to: every project rule in
+//! [`crate::rules`] is a *lexical* property — "this token appears outside a
+//! test scope", "this line is preceded by this comment". What the rules do
+//! need, and what a plain `grep` cannot give them, is to know which bytes are
+//! **code** and which are **string contents, character literals, or
+//! comments**, and which lines live inside a `#[cfg(test)]` item.
+//!
+//! [`FileModel::parse`] produces exactly that: per line, the source with
+//! string/char contents and comments blanked out (`code`), the comment text
+//! gathered from that line (`comment`), and a `test_scope` flag computed by
+//! brace-matching the item that follows a `#[cfg(test)]` / `#[test]` /
+//! `#[bench]` attribute. Raw strings (`r"…"`, `r#"…"#`), byte strings,
+//! nested block comments, escapes, and the lifetime-vs-char-literal
+//! ambiguity are handled; exotic token trees (macros generating `unsafe`,
+//! code produced by `include!`) are out of scope and documented as such in
+//! `docs/STATIC_ANALYSIS.md`.
+
+use std::path::{Path, PathBuf};
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line with comments removed and string/char literal *contents*
+    /// blanked (the delimiting quotes are kept so the shape of the code
+    /// survives). Rules match tokens against this channel.
+    pub code: String,
+    /// The concatenated text of every comment on the line (line, block, and
+    /// doc comments), without the comment markers. Rules look up allowlist
+    /// entries, `SAFETY:` markers, and `hot-path` annotations here.
+    pub comment: String,
+    /// `true` when the line is (lexically) a doc comment (`///` / `//!`).
+    pub doc_comment: bool,
+    /// `true` when the line belongs to an item guarded by `#[cfg(test)]`,
+    /// `#[test]`, or `#[bench]` (the attribute line itself included).
+    pub test_scope: bool,
+}
+
+/// The lexical model of one file: the path plus one [`Line`] per source line.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// Path the file was read from (used verbatim in diagnostics).
+    pub path: PathBuf,
+    /// Per-line code/comment channels, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner state while splitting code from comments and literals.
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: usize, doc: bool },
+    Str,
+    RawStr { hashes: usize },
+}
+
+impl FileModel {
+    /// Parse `source` into the line model. Never fails: unterminated
+    /// literals or comments simply run to the end of the file in whatever
+    /// state they opened.
+    pub fn parse(path: &Path, source: &str) -> Self {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut line = Line::default();
+        let bytes: Vec<char> = source.chars().collect();
+        let mut i = 0usize;
+        let mut state = State::Code;
+
+        // `doc_comment` is per-line: a line is a doc-comment line when the
+        // first non-whitespace content on it is doc-comment text.
+        let mut line_has_code = false;
+
+        while let Some(&c) = bytes.get(i) {
+            if c == '\n' {
+                // Bare `///` (empty text) still counts: it separates
+                // paragraphs inside one contiguous doc block.
+                if !line_has_code {
+                    if let State::LineComment { doc } | State::BlockComment { doc, .. } = state {
+                        line.doc_comment = doc;
+                    }
+                }
+                if let State::LineComment { .. } = state {
+                    state = State::Code;
+                }
+                lines.push(std::mem::take(&mut line));
+                line_has_code = false;
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => {
+                    let next = bytes.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'));
+                        // Swallow the marker (and the doc marker character).
+                        i += if doc { 3 } else { 2 };
+                        // `////…` dividers are plain comments, not docs.
+                        state = State::LineComment {
+                            doc: doc && bytes.get(i) != Some(&'/'),
+                        };
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        let doc = matches!(bytes.get(i + 2), Some('*') | Some('!'));
+                        i += 2;
+                        state = State::BlockComment { depth: 1, doc };
+                        continue;
+                    }
+                    if c == '"' {
+                        // Raw/byte prefixes: r" r#" br" b" — the prefix chars
+                        // were already emitted as code, which is fine.
+                        let mut j = i;
+                        let mut hashes = 0;
+                        // Look back over immediately preceding `#`s and r/b.
+                        while j > 0 && bytes.get(j - 1) == Some(&'#') {
+                            hashes += 1;
+                            j -= 1;
+                        }
+                        // `r"` / `r#"` / `br"` all put `r` immediately before
+                        // the hashes, so one look-back character decides.
+                        let rawed = j.checked_sub(1).and_then(|k| bytes.get(k)) == Some(&'r');
+                        line.code.push('"');
+                        i += 1;
+                        // `#`s not preceded by `r` are attribute syntax and
+                        // the quote opens an ordinary (or byte) string.
+                        state = if rawed {
+                            State::RawStr { hashes }
+                        } else {
+                            State::Str
+                        };
+                        line_has_code = true;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Distinguish a char literal from a lifetime: a char
+                        // literal is 'x' or an escape '\…'; a lifetime has no
+                        // closing quote right after its (single) identifier
+                        // start.
+                        let is_escape = next == Some('\\');
+                        let closes = bytes.get(i + 2) == Some(&'\'') && next != Some('\'');
+                        if is_escape || closes {
+                            // Blank the contents, keep the quotes.
+                            line.code.push('\'');
+                            let mut j = i + 1;
+                            if is_escape {
+                                j += 1; // skip the backslash
+                                j += 1; // skip the escaped char
+                                        // \u{…} and \x.. escapes: scan to closing '.
+                                while bytes.get(j).is_some_and(|&b| b != '\'' && b != '\n') {
+                                    j += 1;
+                                }
+                            } else {
+                                j = i + 2;
+                            }
+                            if bytes.get(j) == Some(&'\'') {
+                                line.code.push('\'');
+                                i = j + 1;
+                            } else {
+                                i = j;
+                            }
+                            line_has_code = true;
+                            continue;
+                        }
+                        // Lifetime: emit as code.
+                        line.code.push(c);
+                        line_has_code = true;
+                        i += 1;
+                        continue;
+                    }
+                    if !c.is_whitespace() {
+                        line_has_code = true;
+                    }
+                    line.code.push(c);
+                    i += 1;
+                }
+                State::LineComment { .. } => {
+                    line.comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment { depth, doc } => {
+                    let next = bytes.get(i + 1).copied();
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment {
+                                depth: depth - 1,
+                                doc,
+                            }
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    line.comment.push(c);
+                    i += 1;
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped character (incl. \" and \\)
+                        continue;
+                    }
+                    if c == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+                State::RawStr { hashes } => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            line.code.push('"');
+                            i += 1 + hashes;
+                            state = State::Code;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if !line.code.is_empty() || !line.comment.is_empty() {
+            lines.push(line);
+        }
+        let mut model = Self {
+            path: path.to_path_buf(),
+            lines,
+        };
+        model.mark_test_scopes();
+        model
+    }
+
+    /// Read and parse a file from disk.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let source = std::fs::read_to_string(path)?;
+        Ok(Self::parse(path, &source))
+    }
+
+    /// Mark every line owned by a `#[cfg(test)]` / `#[test]` / `#[bench]`
+    /// item by brace-matching from the attribute to the end of the item.
+    fn mark_test_scopes(&mut self) {
+        let mut l = 0usize;
+        while let Some(code) = self.lines.get(l).map(|line| line.code.clone()) {
+            if let Some(col) = find_test_attribute(&code) {
+                if let Some(end) = self.item_end(l, col) {
+                    // item_end returns a line index it just visited, so the
+                    // range is in bounds; get_mut keeps that an invariant.
+                    if let Some(scope) = self.lines.get_mut(l..=end) {
+                        for line in scope {
+                            line.test_scope = true;
+                        }
+                    }
+                    l = end + 1;
+                    continue;
+                }
+            }
+            l += 1;
+        }
+    }
+
+    /// The last line of the item that starts at (or after) `line`/`col`:
+    /// scan forward for the first `{` and brace-match it, or stop at a `;`
+    /// that ends a brace-less item.
+    fn item_end(&self, line: usize, col: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut opened = false;
+        for (l, model_line) in self.lines.iter().enumerate().skip(line) {
+            let code = &model_line.code;
+            let start = if l == line { col } else { 0 };
+            for c in code.chars().skip(start) {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            return Some(l);
+                        }
+                    }
+                    ';' if !opened && depth == 0 => return Some(l),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+/// If `code` carries a test-guarding attribute, return the column right
+/// after it (where the guarded item begins).
+fn find_test_attribute(code: &str) -> Option<usize> {
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find("#[") {
+        let open = search + rel;
+        let close = match code[open..].find(']') {
+            Some(c) => open + c,
+            None => return None,
+        };
+        let body: String = code[open + 2..close]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let is_test = body == "test"
+            || body == "bench"
+            || body == "cfg(test)"
+            || body.starts_with("cfg(all(test")
+            || body.starts_with("cfg(any(test");
+        if is_test {
+            return Some(close + 1);
+        }
+        search = close + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(Path::new("mem.rs"), src)
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let m = model("let x = \"panic!(ha) // not a comment\";\n");
+        assert_eq!(m.lines[0].code, "let x = \"\";");
+        assert!(m.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let m = model(r#"let x = "a\"b\\"; let y = 1; // tail"#);
+        assert_eq!(m.lines[0].code, r#"let x = ""; let y = 1; "#);
+        assert_eq!(m.lines[0].comment.trim(), "tail");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_until_the_hash_fence() {
+        let m = model("let x = r#\"quote \" inside\"#; let y = 0;\n");
+        assert!(m.lines[0].code.contains("let y = 0;"));
+        assert!(!m.lines[0].code.contains("inside"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let m = model("fn f<'a>(x: &'a str) -> char { '}' }\n");
+        // The brace char literal must not unbalance brace matching.
+        let opens = m.lines[0].code.matches('{').count();
+        let closes = m.lines[0].code.matches('}').count();
+        assert_eq!(opens, 1, "code = {:?}", m.lines[0].code);
+        assert_eq!(closes, 1, "code = {:?}", m.lines[0].code);
+        assert!(m.lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn escaped_char_literals_are_blanked() {
+        let m = model(r"let q = '\''; let nl = '\n'; let u = '\u{1F600}';");
+        assert!(!m.lines[0].code.contains('\\'));
+        assert_eq!(m.lines[0].code.matches("''").count(), 3);
+    }
+
+    #[test]
+    fn line_and_block_comments_split_channels() {
+        let m = model("code(); // trailing note\n/* block\nstill block */ after();\n");
+        assert_eq!(m.lines[0].code.trim(), "code();");
+        assert_eq!(m.lines[0].comment.trim(), "trailing note");
+        assert_eq!(m.lines[1].comment.trim(), "block");
+        assert_eq!(m.lines[2].comment.trim(), "still block");
+        assert_eq!(m.lines[2].code.trim(), "after();");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let m = model("/* outer /* inner */ still outer */ live();\n");
+        assert_eq!(m.lines[0].code.trim(), "live();");
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let m = model("/// docs here\ncode();\n//! module docs\n// plain\n");
+        assert!(m.lines[0].doc_comment);
+        assert!(!m.lines[1].doc_comment);
+        assert!(m.lines[2].doc_comment);
+        assert!(!m.lines[3].doc_comment);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked_to_its_closing_brace() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let m = model(src);
+        let flags: Vec<bool> = m.lines.iter().map(|l| l.test_scope).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_function() {
+        let src = "#[test]\nfn unit() {\n    body();\n}\nfn live() {}\n";
+        let m = model(src);
+        let flags: Vec<bool> = m.lines.iter().map(|l| l.test_scope).collect();
+        assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_feature_strings_do_not_trigger_test_scope() {
+        let src =
+            "#[cfg(feature = \"test-utils\")]\nfn shim() {}\n#[cfg(not(test))]\nfn live() {}\n";
+        let m = model(src);
+        assert!(m.lines.iter().all(|l| !l.test_scope));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_unbalance_scopes() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}}}{\";\n}\nfn live() {}\n";
+        let m = model(src);
+        assert!(!m.lines[4].test_scope, "live fn must be outside the scope");
+        assert!(m.lines[2].test_scope);
+    }
+}

@@ -1,0 +1,43 @@
+//! # hdldp-analysis — workspace static analysis and schedule checking
+//!
+//! Two subsystems keep the reproduction honest as it grows:
+//!
+//! 1. **`hdldp-lint`** (the [`lexer`] / [`rules`] / [`scan`] modules and the
+//!    binary of the same name): a lexical rule engine with six
+//!    project-specific rules — panic hygiene in library crates, SAFETY
+//!    comments on `unsafe`, atomic-ordering discipline in the telemetry
+//!    crate, deterministic RNG construction, allocation-free hot paths, and
+//!    vendored-shim drift markers. Rules run over a comment-aware line
+//!    model built by a small hand-rolled scanner (the workspace is offline,
+//!    so no `syn`). Violations are suppressed only by an explicit
+//!    `lint:allow` comment carrying a justification.
+//! 2. **The deterministic-schedule checker** (the [`schedule`] and
+//!    [`models`] modules): a miniature model checker that enumerates every
+//!    interleaving of small multi-threaded programs (optionally bounding
+//!    preemptions) and checks invariants after each step. The shipped
+//!    models restate the lock-free `LatencyHistogram` and the sharded
+//!    `ShardAccumulator` at per-atomic-op granularity and verify snapshot
+//!    monotonicity and merge commutativity on every schedule.
+//!
+//! The lint's rule catalogue and the allow-comment grammar are documented
+//! in `docs/STATIC_ANALYSIS.md` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod models;
+pub mod rules;
+pub mod scan;
+pub mod schedule;
+
+pub use lexer::FileModel;
+pub use models::{
+    histogram_explorer, histogram_invariant, merge_in_order, model_bucket_index, permutations,
+    shard_explorer, HistogramState, ModelSnapshot, ShardModel, ShardState, MODEL_BUCKETS,
+};
+pub use rules::{check_file, Category, FileContext, RuleId, Violation};
+pub use scan::{classify, find_workspace_root, lint_file, scan_workspace, ScanReport};
+pub use schedule::{
+    interleaving_count, ExplorationReport, Explorer, Schedule, ScheduleFailure, ThreadProgram,
+};

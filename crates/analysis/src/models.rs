@@ -1,0 +1,444 @@
+//! Concurrency models of the lock-free layers, for the schedule checker.
+//!
+//! Two algorithms in the workspace carry real concurrency claims:
+//!
+//! * `hdldp_telemetry::LatencyHistogram` — record is three independent
+//!   relaxed atomic operations (bucket add, sum add, max max); snapshots
+//!   load each bucket individually and claim to be "never torn, only
+//!   slightly early or late", i.e. **monotone** and **bounded** by the
+//!   records in flight.
+//! * `hdldp_protocol::ShardAccumulator` — parallel ingest writes disjoint
+//!   shards and claims the result is schedule-independent, and that merging
+//!   shard partials is **commutative** (exact for dyadic inputs).
+//!
+//! The models below restate those algorithms step-by-step at exactly the
+//! atomicity the real code has (every atomic op = one [`Step`]; every
+//! non-atomic pair = two steps) so [`Explorer`] can enumerate every
+//! interleaving and check the claims on each one. The integration tests
+//! additionally replay the same inputs through the *real* types and assert
+//! the model's final state matches them.
+
+use crate::schedule::{Explorer, Step, ThreadProgram};
+
+/// Buckets in the model histogram (the real one has 64; four are enough to
+/// exercise "snapshot reads buckets one at a time").
+pub const MODEL_BUCKETS: usize = 4;
+
+/// The model's bucket function: bit length capped at the last bucket —
+/// the same formula as `hdldp_telemetry`'s `bucket_index`.
+pub fn model_bucket_index(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(MODEL_BUCKETS - 1)
+}
+
+/// One committed model snapshot plus the bounds it must respect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSnapshot {
+    /// Per-bucket counts as loaded (one load per step).
+    pub buckets: [u64; MODEL_BUCKETS],
+    /// Sum of the loaded buckets (what quantiles are computed from).
+    pub count: u64,
+    /// The sum cell as loaded.
+    pub sum: u64,
+    /// The max cell as loaded.
+    pub max: u64,
+    /// Records fully completed when the snapshot began: `count` may not be
+    /// below this.
+    pub lower: u64,
+    /// Records started when the snapshot committed: `count` may not exceed
+    /// this.
+    pub upper: u64,
+}
+
+/// Scratch space of the in-flight snapshot (one snapshotter thread).
+#[derive(Debug, Clone, Default)]
+struct SnapshotScratch {
+    buckets: [u64; MODEL_BUCKETS],
+    sum: u64,
+    max: u64,
+    lower: u64,
+}
+
+/// Shared state of the histogram model.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramState {
+    /// The bucket counters (each add is one step = one atomic RMW).
+    pub buckets: [u64; MODEL_BUCKETS],
+    /// The sum-of-values counter.
+    pub sum: u64,
+    /// The running max.
+    pub max: u64,
+    /// Records that have executed their bucket add (step 1 of 3).
+    pub started: u64,
+    /// Records that have executed all three steps.
+    pub completed: u64,
+    scratch: SnapshotScratch,
+    /// Snapshots committed so far, in commit order.
+    pub snapshots: Vec<ModelSnapshot>,
+}
+
+/// Build the recorder thread for one sequence of values. Each record is
+/// three steps, mirroring `HistogramCell::record`: bucket add, sum add,
+/// max update.
+fn recorder(name: &str, values: &[u64]) -> ThreadProgram<HistogramState> {
+    let mut steps: Vec<Step<HistogramState>> = Vec::new();
+    for &v in values {
+        steps.push(Box::new(move |s: &mut HistogramState| {
+            s.buckets[model_bucket_index(v)] += 1;
+            s.started += 1;
+        }));
+        steps.push(Box::new(move |s: &mut HistogramState| {
+            s.sum += v;
+        }));
+        steps.push(Box::new(move |s: &mut HistogramState| {
+            s.max = s.max.max(v);
+            s.completed += 1;
+        }));
+    }
+    ThreadProgram::new(name, steps)
+}
+
+/// Build the snapshotter thread: `snapshots` sequential snapshots, each of
+/// which loads every bucket in its own step (mirroring `summarize`'s
+/// per-bucket loads), then the sum and max cells, then commits.
+fn snapshotter(snapshots: usize) -> ThreadProgram<HistogramState> {
+    let mut steps: Vec<Step<HistogramState>> = Vec::new();
+    for _ in 0..snapshots {
+        steps.push(Box::new(|s: &mut HistogramState| {
+            s.scratch = SnapshotScratch {
+                lower: s.completed,
+                ..SnapshotScratch::default()
+            };
+        }));
+        for b in 0..MODEL_BUCKETS {
+            steps.push(Box::new(move |s: &mut HistogramState| {
+                s.scratch.buckets[b] = s.buckets[b];
+            }));
+        }
+        steps.push(Box::new(|s: &mut HistogramState| {
+            s.scratch.sum = s.sum;
+        }));
+        steps.push(Box::new(|s: &mut HistogramState| {
+            s.scratch.max = s.max;
+        }));
+        steps.push(Box::new(|s: &mut HistogramState| {
+            let snap = ModelSnapshot {
+                buckets: s.scratch.buckets,
+                count: s.scratch.buckets.iter().sum(),
+                sum: s.scratch.sum,
+                max: s.scratch.max,
+                lower: s.scratch.lower,
+                upper: s.started,
+            };
+            s.snapshots.push(snap);
+        }));
+    }
+    ThreadProgram::new("snapshotter", steps)
+}
+
+/// The histogram invariant, checked after every step of every schedule:
+/// each committed snapshot is bounded by the records in flight, and
+/// successive snapshots are monotone in every component.
+pub fn histogram_invariant(s: &HistogramState) -> Result<(), String> {
+    for (i, snap) in s.snapshots.iter().enumerate() {
+        if snap.count < snap.lower || snap.count > snap.upper {
+            return Err(format!(
+                "snapshot {i} count {} outside [completed-at-begin {}, started-at-commit {}]",
+                snap.count, snap.lower, snap.upper
+            ));
+        }
+    }
+    for pair in s.snapshots.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let monotone = b.count >= a.count
+            && b.sum >= a.sum
+            && b.max >= a.max
+            && a.buckets.iter().zip(&b.buckets).all(|(x, y)| y >= x);
+        if !monotone {
+            return Err(format!(
+                "snapshots regressed: {a:?} then {b:?} — the histogram claims monotone reads"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Build a histogram explorer: one recorder thread per value sequence plus
+/// one snapshotter taking `snapshots` snapshots. The final check asserts
+/// the fully-quiesced state is exact (no lost updates under any schedule).
+pub fn histogram_explorer(
+    recorders: &[Vec<u64>],
+    snapshots: usize,
+) -> (Explorer<HistogramState>, HistogramState) {
+    let mut threads: Vec<ThreadProgram<HistogramState>> = recorders
+        .iter()
+        .enumerate()
+        .map(|(i, values)| recorder(&format!("recorder-{i}"), values))
+        .collect();
+    threads.push(snapshotter(snapshots));
+
+    let mut expected_buckets = [0u64; MODEL_BUCKETS];
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    let mut expected_count = 0u64;
+    for v in recorders.iter().flatten() {
+        expected_buckets[model_bucket_index(*v)] += 1;
+        expected_sum += v;
+        expected_max = expected_max.max(*v);
+        expected_count += 1;
+    }
+
+    let explorer = Explorer::new(threads)
+        .invariant(histogram_invariant)
+        .final_check(move |s: &HistogramState| {
+            if s.buckets != expected_buckets {
+                return Err(format!(
+                    "lost bucket updates: {:?} != {:?}",
+                    s.buckets, expected_buckets
+                ));
+            }
+            if s.sum != expected_sum || s.max != expected_max {
+                return Err(format!(
+                    "sum/max drifted: sum {} max {} expected sum {} max {}",
+                    s.sum, s.max, expected_sum, expected_max
+                ));
+            }
+            if s.started != expected_count || s.completed != expected_count {
+                return Err("record accounting out of balance".to_string());
+            }
+            Ok(())
+        });
+    (explorer, HistogramState::default())
+}
+
+// ---------------------------------------------------------------------------
+// Shard-accumulator model
+// ---------------------------------------------------------------------------
+
+/// One model shard: per-dimension sums/counts plus the report tally —
+/// the same fields `ShardAccumulator` keeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardModel {
+    /// Per-dimension running sums.
+    pub sums: Vec<f64>,
+    /// Per-dimension entry counts.
+    pub counts: Vec<u64>,
+    /// Reports fully accumulated.
+    pub reports: u64,
+}
+
+impl ShardModel {
+    fn new(dims: usize) -> Self {
+        Self {
+            sums: vec![0.0; dims],
+            counts: vec![0; dims],
+            reports: 0,
+        }
+    }
+}
+
+/// Shared state of the sharded-ingest model: one shard per writer thread
+/// (the real `ingest_partitioned` gives each worker exclusive ownership of
+/// its shard, so disjointness is the property under test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// The per-thread shards.
+    pub shards: Vec<ShardModel>,
+}
+
+/// Build the writer thread for shard `shard`: each `(dim, value)` entry is
+/// two steps — sum add, then count add — modelling that the real
+/// accumulator updates the pair non-atomically; each report ends with a
+/// report-tally step.
+fn shard_writer(shard: usize, entries: &[(usize, f64)]) -> ThreadProgram<ShardState> {
+    let mut steps: Vec<Step<ShardState>> = Vec::new();
+    for &(dim, value) in entries {
+        steps.push(Box::new(move |s: &mut ShardState| {
+            s.shards[shard].sums[dim] += value;
+        }));
+        steps.push(Box::new(move |s: &mut ShardState| {
+            s.shards[shard].counts[dim] += 1;
+        }));
+    }
+    steps.push(Box::new(move |s: &mut ShardState| {
+        s.shards[shard].reports += 1;
+    }));
+    ThreadProgram::new(&format!("shard-{shard}"), steps)
+}
+
+/// Merge the shards of a final state in the given order, mirroring
+/// `ShardAccumulator::merge` (componentwise sum/count adds).
+pub fn merge_in_order(state: &ShardState, order: &[usize]) -> ShardModel {
+    let dims = state.shards.first().map_or(0, |s| s.sums.len());
+    let mut total = ShardModel::new(dims);
+    for &i in order {
+        let shard = &state.shards[i];
+        for d in 0..dims {
+            total.sums[d] += shard.sums[d];
+            total.counts[d] += shard.counts[d];
+        }
+        total.reports += shard.reports;
+    }
+    total
+}
+
+/// All permutations of `0..n` (n is tiny: the model runs 2–3 shards).
+pub fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for pos in 0..=rest.len() {
+            let mut p = rest.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Build a shard-ingest explorer over `per_shard` entry lists (one writer
+/// thread per shard, `dims` dimensions).
+///
+/// Final check, for every schedule:
+/// 1. the final state equals the serial reference (schedule-independence:
+///    writers own disjoint shards, so no interleaving may change the sums),
+/// 2. merging the shards in **every** permutation yields bit-identical
+///    totals (merge-commutativity; callers pass dyadic values so float
+///    addition is exact and the comparison is meaningful).
+pub fn shard_explorer(
+    per_shard: &[Vec<(usize, f64)>],
+    dims: usize,
+) -> (Explorer<ShardState>, ShardState) {
+    let threads: Vec<ThreadProgram<ShardState>> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(i, entries)| shard_writer(i, entries))
+        .collect();
+
+    // The serial reference: accumulate each shard with no interleaving.
+    let mut reference = ShardState {
+        shards: per_shard.iter().map(|_| ShardModel::new(dims)).collect(),
+    };
+    for (i, entries) in per_shard.iter().enumerate() {
+        for &(dim, value) in entries {
+            reference.shards[i].sums[dim] += value;
+            reference.shards[i].counts[dim] += 1;
+        }
+        reference.shards[i].reports += 1;
+    }
+    let shard_count = per_shard.len();
+
+    let explorer = Explorer::new(threads).final_check(move |s: &ShardState| {
+        if *s != reference {
+            return Err(format!(
+                "sharded ingest is schedule-dependent: {s:?} != serial reference {reference:?}"
+            ));
+        }
+        let orders = permutations(shard_count);
+        let canonical = merge_in_order(s, &orders[0]);
+        for order in &orders[1..] {
+            let merged = merge_in_order(s, order);
+            let same = merged.counts == canonical.counts
+                && merged.reports == canonical.reports
+                && merged
+                    .sums
+                    .iter()
+                    .zip(&canonical.sums)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !same {
+                return Err(format!(
+                    "merge is not commutative: order {order:?} gave {merged:?}, \
+                     expected {canonical:?}"
+                ));
+            }
+        }
+        Ok(())
+    });
+    let initial = ShardState {
+        shards: (0..shard_count).map(|_| ShardModel::new(dims)).collect(),
+    };
+    (explorer, initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_bucket_index_matches_bit_length() {
+        assert_eq!(model_bucket_index(0), 0);
+        assert_eq!(model_bucket_index(1), 1);
+        assert_eq!(model_bucket_index(3), 2);
+        assert_eq!(model_bucket_index(4), 3);
+        assert_eq!(model_bucket_index(u64::MAX), MODEL_BUCKETS - 1);
+    }
+
+    #[test]
+    fn permutations_enumerate_n_factorial_orders() {
+        assert_eq!(permutations(0).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        let mut p = permutations(3);
+        p.sort();
+        p.dedup();
+        assert_eq!(p.len(), 6, "permutations must be distinct");
+    }
+
+    #[test]
+    fn histogram_invariant_rejects_regressing_snapshots() {
+        let mut s = HistogramState::default();
+        s.snapshots.push(ModelSnapshot {
+            buckets: [2, 0, 0, 0],
+            count: 2,
+            sum: 0,
+            max: 0,
+            lower: 0,
+            upper: 2,
+        });
+        s.snapshots.push(ModelSnapshot {
+            buckets: [1, 0, 0, 0],
+            count: 1,
+            sum: 0,
+            max: 0,
+            lower: 0,
+            upper: 2,
+        });
+        assert!(histogram_invariant(&s).is_err());
+    }
+
+    #[test]
+    fn histogram_invariant_rejects_out_of_bounds_count() {
+        let mut s = HistogramState::default();
+        s.snapshots.push(ModelSnapshot {
+            buckets: [3, 0, 0, 0],
+            count: 3,
+            sum: 0,
+            max: 0,
+            lower: 0,
+            upper: 2,
+        });
+        assert!(histogram_invariant(&s).is_err());
+    }
+
+    #[test]
+    fn merge_in_order_folds_componentwise() {
+        let state = ShardState {
+            shards: vec![
+                ShardModel {
+                    sums: vec![1.0, 0.5],
+                    counts: vec![1, 1],
+                    reports: 1,
+                },
+                ShardModel {
+                    sums: vec![0.25, 0.0],
+                    counts: vec![1, 0],
+                    reports: 1,
+                },
+            ],
+        };
+        let merged = merge_in_order(&state, &[0, 1]);
+        assert_eq!(merged.sums, vec![1.25, 0.5]);
+        assert_eq!(merged.counts, vec![2, 1]);
+        assert_eq!(merged.reports, 2);
+    }
+}

@@ -1,0 +1,873 @@
+//! The project-specific lint rules and the allowlist mechanism.
+//!
+//! Every rule is a pure function from a [`FileModel`] (plus the file's
+//! [`Category`]) to a list of [`Violation`]s. Rules never read the
+//! filesystem and never consult global state, so the fixture tests under
+//! `crates/analysis/fixtures/` can drive each rule in isolation and assert
+//! exact rule-id + line pairs.
+//!
+//! # Allowlisting
+//!
+//! A violation is suppressed by an allow comment **with a written
+//! justification** on the offending line or the line directly above it:
+//!
+//! ```text
+//! // lint:allow(no-panic-in-lib) shape is validated at construction
+//! ```
+//!
+//! An allow entry naming an unknown rule, or carrying no justification, is
+//! itself reported (rule id `lint-allow`): the allowlist must never rot into
+//! a list of unexplained exemptions.
+
+use crate::lexer::{FileModel, Line};
+use std::fmt;
+use std::path::PathBuf;
+
+/// How a file participates in the workspace, which decides the rules that
+/// apply to it (see [`rules_for`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Library source under `crates/*/src` (minus `src/bin`): the production
+    /// code paths. All panic/determinism/atomics/hot-path rules apply.
+    Lib,
+    /// Experiment harness code: `crates/bench`, `src/bin` binaries, and
+    /// criterion benches. Panics abort one experiment run, not a service, so
+    /// `no-panic-in-lib` and `deterministic-rng` do not apply.
+    Harness,
+    /// Integration tests and examples (and `#[cfg(test)]` scopes inside lib
+    /// files). Tests may panic freely but must stay deterministic.
+    Test,
+    /// Vendored stand-in crates under `vendor/`: only the drift rule (and
+    /// the `unsafe` rule) apply — shim internals mirror foreign code.
+    Vendor,
+}
+
+/// The six project rules (plus the allowlist meta rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// or indexing a locally-declared `Vec` in library code outside tests.
+    NoPanicInLib,
+    /// Every `unsafe` token must be covered by a `SAFETY:` comment.
+    UnsafeNeedsSafetyComment,
+    /// `crates/telemetry` may only use `Ordering::Relaxed` unless the site
+    /// carries an `ordering-pair(...)` annotation; no other crate may touch
+    /// `std::sync::atomic` at all.
+    AtomicOrderingDiscipline,
+    /// No entropy-seeded randomness (`thread_rng`, `from_entropy`, `OsRng`,
+    /// `rand::random`, `SystemTime::now`) outside the bench harness.
+    DeterministicRng,
+    /// Functions annotated `// hot-path` may not allocate.
+    NoAllocHotPath,
+    /// Vendored shim public functions must carry a doc marker naming the
+    /// real-crate signature they mirror.
+    VendorDrift,
+    /// Malformed allow entries: unknown rule id or missing justification.
+    LintAllow,
+}
+
+impl RuleId {
+    /// Every rule, in reporting order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::NoPanicInLib,
+        RuleId::UnsafeNeedsSafetyComment,
+        RuleId::AtomicOrderingDiscipline,
+        RuleId::DeterministicRng,
+        RuleId::NoAllocHotPath,
+        RuleId::VendorDrift,
+        RuleId::LintAllow,
+    ];
+
+    /// The stable kebab-case id used in diagnostics and allow comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoPanicInLib => "no-panic-in-lib",
+            RuleId::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
+            RuleId::AtomicOrderingDiscipline => "atomic-ordering-discipline",
+            RuleId::DeterministicRng => "deterministic-rng",
+            RuleId::NoAllocHotPath => "no-alloc-hot-path",
+            RuleId::VendorDrift => "vendor-drift",
+            RuleId::LintAllow => "lint-allow",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::NoPanicInLib => {
+                "library code must not panic: no unwrap/expect/panic!/unreachable!/todo!/\
+                 unimplemented! or Vec indexing outside #[cfg(test)]"
+            }
+            RuleId::UnsafeNeedsSafetyComment => {
+                "every `unsafe` token needs a `SAFETY:` comment on the same or a nearby \
+                 preceding line"
+            }
+            RuleId::AtomicOrderingDiscipline => {
+                "only crates/telemetry touches std::sync::atomic, and only with \
+                 Ordering::Relaxed unless the site carries an `ordering-pair(name):` annotation"
+            }
+            RuleId::DeterministicRng => {
+                "no entropy-derived randomness (thread_rng/from_entropy/OsRng/rand::random/\
+                 SystemTime::now) outside the bench harness: runs must replay from seeds"
+            }
+            RuleId::NoAllocHotPath => {
+                "functions annotated `// hot-path` may not allocate (Vec::new/vec!/push/\
+                 collect/format!/to_string/to_vec/Box::new/String::from)"
+            }
+            RuleId::VendorDrift => {
+                "vendored shim `pub fn`s must keep a doc line naming the real-crate \
+                 signature they mirror (e.g. `Mirrors `rand::Rng::gen_range`.`)"
+            }
+            RuleId::LintAllow => {
+                "allow entries must name a known rule and carry a written justification"
+            }
+        }
+    }
+
+    /// Parse an id as written inside `lint:allow(...)`.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: rule, location, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found, with enough context to act on.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The rule set a category is checked against (test-scope lines inside `Lib`
+/// files are re-routed to the `Test` set by [`check_file`]).
+pub fn rules_for(category: Category) -> &'static [RuleId] {
+    match category {
+        Category::Lib => &[
+            RuleId::NoPanicInLib,
+            RuleId::UnsafeNeedsSafetyComment,
+            RuleId::AtomicOrderingDiscipline,
+            RuleId::DeterministicRng,
+            RuleId::NoAllocHotPath,
+        ],
+        Category::Harness => &[
+            RuleId::UnsafeNeedsSafetyComment,
+            RuleId::AtomicOrderingDiscipline,
+            RuleId::NoAllocHotPath,
+        ],
+        Category::Test => &[RuleId::UnsafeNeedsSafetyComment, RuleId::DeterministicRng],
+        Category::Vendor => &[RuleId::UnsafeNeedsSafetyComment, RuleId::VendorDrift],
+    }
+}
+
+/// Everything the rules need to know about the file besides its text.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// The category deciding which rules run.
+    pub category: Category,
+    /// The crate the file belongs to (`telemetry`, `bench`, ...), used by
+    /// the atomics rule.
+    pub crate_name: String,
+}
+
+/// Run every applicable rule over one file and fold in the allowlist.
+///
+/// Returned violations are sorted by line, then rule.
+pub fn check_file(model: &FileModel, ctx: &FileContext) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let rules = rules_for(ctx.category);
+    for &rule in rules {
+        let raw = match rule {
+            RuleId::NoPanicInLib => no_panic_in_lib(model),
+            RuleId::UnsafeNeedsSafetyComment => unsafe_needs_safety_comment(model),
+            RuleId::AtomicOrderingDiscipline => atomic_ordering_discipline(model, ctx),
+            RuleId::DeterministicRng => deterministic_rng(model, ctx.category),
+            RuleId::NoAllocHotPath => no_alloc_hot_path(model),
+            RuleId::VendorDrift => vendor_drift(model),
+            RuleId::LintAllow => Vec::new(),
+        };
+        out.extend(raw);
+    }
+    out.extend(validate_allow_entries(model));
+    out.retain(|v| !is_allowed(model, v.rule, v.line));
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    out
+}
+
+fn violation(model: &FileModel, rule: RuleId, line0: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        path: model.path.clone(),
+        line: line0 + 1,
+        message,
+    }
+}
+
+/// Parse the allow entries on one comment: `(rule, justification)` pairs.
+fn allow_entries(comment: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = comment[search..].find("lint:allow(") {
+        let open = search + rel + "lint:allow(".len();
+        let Some(close_rel) = comment[open..].find(')') else {
+            break;
+        };
+        let close = open + close_rel;
+        let rule = comment[open..close].trim().to_string();
+        let justification = comment[close + 1..].trim().to_string();
+        out.push((rule, justification));
+        search = close + 1;
+    }
+    out
+}
+
+/// `true` when line `line1` (1-based) or the line above carries a
+/// well-formed allow entry for `rule`.
+fn is_allowed(model: &FileModel, rule: RuleId, line1: usize) -> bool {
+    let candidates = [line1.checked_sub(1), line1.checked_sub(2)];
+    for idx in candidates.into_iter().flatten() {
+        if let Some(line) = model.lines.get(idx) {
+            // Allow entries live in plain `//` comments only; doc comments
+            // are rendered documentation and may quote the grammar.
+            if line.doc_comment {
+                continue;
+            }
+            for (name, justification) in allow_entries(&line.comment) {
+                if name == rule.name() && !justification.is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The `lint-allow` meta rule: every entry must name a known rule and carry
+/// a justification.
+fn validate_allow_entries(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        if line.doc_comment {
+            continue;
+        }
+        for (name, justification) in allow_entries(&line.comment) {
+            match RuleId::from_name(&name) {
+                None => out.push(violation(
+                    model,
+                    RuleId::LintAllow,
+                    i,
+                    format!("allow entry names unknown rule `{name}`"),
+                )),
+                Some(rule) if justification.is_empty() => out.push(violation(
+                    model,
+                    RuleId::LintAllow,
+                    i,
+                    format!("allow entry for `{rule}` carries no justification"),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    out
+}
+
+/// `true` when `code[pos..]` starts a word-boundary occurrence of `needle`.
+fn word_at(code: &str, pos: usize, needle: &str) -> bool {
+    let before_ok = pos == 0
+        || !code[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + needle.len();
+    let after_ok = !code[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// All word-boundary occurrences of `needle` in `code`.
+fn find_word(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find(needle) {
+        let pos = search + rel;
+        if word_at(code, pos, needle) {
+            out.push(pos);
+        }
+        search = pos + needle.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-panic-in-lib
+// ---------------------------------------------------------------------------
+
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn no_panic_in_lib(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Locally-declared Vec bindings, for the indexing heuristic: without type
+    // inference we only flag `name[...]` when `name` was visibly bound to a
+    // Vec in this file.
+    let mut vec_names: Vec<String> = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        if line.test_scope {
+            continue;
+        }
+        let code = &line.code;
+        for pattern in PANIC_PATTERNS {
+            for _ in find_word_fragment(code, pattern) {
+                out.push(violation(
+                    model,
+                    RuleId::NoPanicInLib,
+                    i,
+                    format!("`{pattern}` can panic in library code"),
+                ));
+            }
+        }
+        track_vec_bindings(code, &mut vec_names);
+        for name in &vec_names {
+            let needle = format!("{name}[");
+            let mut search = 0usize;
+            while let Some(rel) = code[search..].find(&needle) {
+                let pos = search + rel;
+                if word_at(code, pos, name) {
+                    out.push(violation(
+                        model,
+                        RuleId::NoPanicInLib,
+                        i,
+                        format!("indexing `{name}[...]` can panic; prefer `.get(..)` or iterators"),
+                    ));
+                }
+                search = pos + needle.len();
+            }
+        }
+    }
+    out
+}
+
+/// Occurrences of a pattern that starts with a non-word char (`.unwrap()`)
+/// or ends mid-word (`panic!(`): only the leading boundary needs checking.
+fn find_word_fragment(code: &str, pattern: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    let leading_word = pattern
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    while let Some(rel) = code[search..].find(pattern) {
+        let pos = search + rel;
+        let boundary_ok = !leading_word
+            || pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary_ok {
+            out.push(pos);
+        }
+        search = pos + pattern.len();
+    }
+    out
+}
+
+/// Remember `let` bindings that are visibly Vecs: `let x: Vec<..>`,
+/// `let x = vec![..]`, `let x = Vec::..`.
+fn track_vec_bindings(code: &str, names: &mut Vec<String>) {
+    for pos in find_word(code, "let") {
+        let rest = &code[pos + 3..];
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let tail = &rest[name.len()..];
+        let is_vec = tail.trim_start().starts_with(": Vec<")
+            || tail.contains("= vec![")
+            || tail.contains("= Vec::");
+        if is_vec && !names.iter().any(|n| n == &name) {
+            names.push(name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: unsafe-needs-safety-comment
+// ---------------------------------------------------------------------------
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 3;
+
+fn unsafe_needs_safety_comment(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        if find_word(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        let covered = (i.saturating_sub(SAFETY_LOOKBACK)..=i)
+            .any(|j| model.lines[j].comment.contains("SAFETY:"));
+        if !covered {
+            out.push(violation(
+                model,
+                RuleId::UnsafeNeedsSafetyComment,
+                i,
+                "`unsafe` without a `// SAFETY:` comment on this or a nearby preceding line"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: atomic-ordering-discipline
+// ---------------------------------------------------------------------------
+
+const NON_RELAXED: [&str; 4] = [
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Atomic cell types whose appearance outside `crates/telemetry` is flagged
+/// (matching on `Ordering::` alone would trip over `std::cmp::Ordering`).
+const ATOMIC_TYPES: [&str; 8] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+fn atomic_ordering_discipline(model: &FileModel, ctx: &FileContext) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let in_telemetry = ctx.crate_name == "telemetry";
+    for (i, line) in model.lines.iter().enumerate() {
+        if line.test_scope {
+            continue;
+        }
+        let code = &line.code;
+        if in_telemetry {
+            for ordering in NON_RELAXED {
+                if code.contains(ordering) && !annotated_pair(model, i) {
+                    out.push(violation(
+                        model,
+                        RuleId::AtomicOrderingDiscipline,
+                        i,
+                        format!(
+                            "`{ordering}` in crates/telemetry without an \
+                             `ordering-pair(name):` annotation; the telemetry hot path is \
+                             Relaxed-only by design"
+                        ),
+                    ));
+                }
+            }
+        } else if code.contains("sync::atomic")
+            || ATOMIC_TYPES.iter().any(|t| !find_word(code, t).is_empty())
+        {
+            out.push(violation(
+                model,
+                RuleId::AtomicOrderingDiscipline,
+                i,
+                "raw atomics outside crates/telemetry; use the telemetry primitives \
+                 (Counter/Gauge/LatencyHistogram) instead"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `true` when the line (or one just above) names its acquire/release pair:
+/// `// ordering-pair(<name>): <why this pairing is correct>`.
+fn annotated_pair(model: &FileModel, line0: usize) -> bool {
+    (line0.saturating_sub(2)..=line0).any(|j| {
+        model.lines[j]
+            .comment
+            .split("ordering-pair(")
+            .nth(1)
+            .and_then(|rest| rest.split_once(')'))
+            .is_some_and(|(name, tail)| !name.trim().is_empty() && tail.trim().len() > 1)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: deterministic-rng
+// ---------------------------------------------------------------------------
+
+const ENTROPY_PATTERNS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "rand::random",
+    "SystemTime::now",
+];
+
+fn deterministic_rng(model: &FileModel, _category: Category) -> Vec<Violation> {
+    // Unlike the panic rule, `#[cfg(test)]` scopes are NOT exempt: the whole
+    // test suite replays from fixed seeds, and one entropy-seeded test makes
+    // a red CI run unreproducible.
+    let mut out = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        for pattern in ENTROPY_PATTERNS {
+            if !find_word_fragment(&line.code, pattern).is_empty() {
+                out.push(violation(
+                    model,
+                    RuleId::DeterministicRng,
+                    i,
+                    format!(
+                        "`{pattern}` breaks seed-replayability; derive randomness from an \
+                         explicit seed (see tests::test_rng / user_seed mixing)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: no-alloc-hot-path
+// ---------------------------------------------------------------------------
+
+const ALLOC_PATTERNS: [&str; 12] = [
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    ".push(",
+    ".collect(",
+    ".collect::<",
+    "format!(",
+    ".to_string()",
+    ".to_vec()",
+    ".to_owned()",
+    "String::from(",
+    "Box::new(",
+];
+
+fn no_alloc_hot_path(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < model.lines.len() {
+        if !is_hot_path_marker(&model.lines[i]) {
+            i += 1;
+            continue;
+        }
+        // The marker covers the next function: scan to its body and check
+        // every line until the braces balance.
+        let Some((body_start, body_end)) = function_body_after(model, i) else {
+            i += 1;
+            continue;
+        };
+        for l in body_start..=body_end {
+            let line = &model.lines[l];
+            if line.test_scope {
+                continue;
+            }
+            for pattern in ALLOC_PATTERNS {
+                if !find_word_fragment(&line.code, pattern).is_empty() {
+                    out.push(violation(
+                        model,
+                        RuleId::NoAllocHotPath,
+                        l,
+                        format!("`{pattern}` allocates inside a `// hot-path` function"),
+                    ));
+                }
+            }
+        }
+        i = body_end + 1;
+    }
+    out
+}
+
+/// A hot-path marker is a comment line whose trimmed text *is* the marker
+/// (prose that merely mentions hot paths must not arm the rule).
+fn is_hot_path_marker(line: &Line) -> bool {
+    let text = line.comment.trim();
+    !line.doc_comment && (text == "hot-path" || text.starts_with("hot-path:"))
+}
+
+/// The `(first, last)` body lines of the next `fn` at or after `line0`.
+fn function_body_after(model: &FileModel, line0: usize) -> Option<(usize, usize)> {
+    let mut saw_fn = false;
+    let mut depth = 0i32;
+    let mut start = None;
+    for l in line0..model.lines.len() {
+        let code = &model.lines[l].code;
+        if !saw_fn && find_word(code, "fn").is_empty() {
+            continue;
+        }
+        saw_fn = true;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if start.is_none() {
+                        start = Some(l);
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if start.is_some() && depth == 0 {
+                        return Some((start.unwrap_or(l), l));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: vendor-drift
+// ---------------------------------------------------------------------------
+
+fn vendor_drift(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in model.lines.iter().enumerate() {
+        if line.test_scope || !line.code.contains("pub fn ") {
+            continue;
+        }
+        let name: String = line
+            .code
+            .split("pub fn ")
+            .nth(1)
+            .unwrap_or("")
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        // `pub fn $name` inside macro_rules! bodies yields no identifier;
+        // the expansion site, not the macro, is what mirrors upstream.
+        if name.is_empty() {
+            continue;
+        }
+        // Walk up the contiguous doc/attribute/comment block above the fn.
+        let mut covered = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let above = &model.lines[j];
+            let is_block_line = above.doc_comment
+                || above.code.trim().starts_with("#[")
+                || (above.code.trim().is_empty() && !above.comment.is_empty());
+            if !is_block_line {
+                break;
+            }
+            if above.comment.contains("Mirrors `") {
+                covered = true;
+                break;
+            }
+        }
+        if !covered {
+            out.push(violation(
+                model,
+                RuleId::VendorDrift,
+                i,
+                format!(
+                    "vendored `pub fn {name}` has no `Mirrors `<real crate path>`` doc \
+                     marker; shims must name the upstream signature they stand in for"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::FileModel;
+    use std::path::Path;
+
+    fn check(src: &str, category: Category, crate_name: &str) -> Vec<Violation> {
+        let model = FileModel::parse(Path::new("mem.rs"), src);
+        check_file(
+            &model,
+            &FileContext {
+                category,
+                crate_name: crate_name.to_string(),
+            },
+        )
+    }
+
+    #[test]
+    fn panic_patterns_fire_only_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        let v = check(src, Category::Lib, "math");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::NoPanicInLib);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn panic_in_string_or_comment_does_not_fire() {
+        let src = "// .unwrap() is forbidden\nlet msg = \".unwrap()\";\n";
+        assert!(check(src, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn vec_index_heuristic_tracks_local_bindings() {
+        let src = "fn f(i: usize) -> u64 {\n  let counts = vec![0u64; 8];\n  counts[i]\n}\n";
+        let v = check(src, Category::Lib, "math");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("counts"));
+        // Slices/arrays of unknown type are not flagged.
+        let src2 = "fn f(xs: &[u64], i: usize) -> u64 { xs[i] }\n";
+        assert!(check(src2, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(no-panic-in-lib) x is Some by construction in this module\n\
+                   x.unwrap()\n}\n";
+        assert!(check(src, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_itself_reported() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint:allow(no-panic-in-lib)\n\
+                   x.unwrap()\n}\n";
+        let v = check(src, Category::Lib, "math");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.rule == RuleId::LintAllow));
+        assert!(v.iter().any(|v| v.rule == RuleId::NoPanicInLib));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_reported() {
+        let src = "// lint:allow(no-such-rule) because reasons\nfn f() {}\n";
+        let v = check(src, Category::Lib, "math");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::LintAllow);
+        assert!(v[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { danger() } }\n";
+        let v = check(bad, Category::Lib, "math");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::UnsafeNeedsSafetyComment);
+        let good = "// SAFETY: the pointer is valid for the lifetime of the call\n\
+                    fn f() { unsafe { danger() } }\n";
+        assert!(check(good, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_code_attribute_is_not_an_unsafe_site() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(check(src, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn non_relaxed_ordering_in_telemetry_needs_pair_annotation() {
+        let bad = "fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }\n";
+        let v = check(bad, Category::Lib, "telemetry");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::AtomicOrderingDiscipline);
+        let good = "// ordering-pair(flush-seal): release pairs with the Acquire load in seal()\n\
+                    fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }\n";
+        assert!(check(good, Category::Lib, "telemetry").is_empty());
+        let relaxed = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n";
+        assert!(check(relaxed, Category::Lib, "telemetry").is_empty());
+    }
+
+    #[test]
+    fn atomics_outside_telemetry_are_flagged() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        let v = check(src, Category::Lib, "protocol");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::AtomicOrderingDiscipline);
+    }
+
+    #[test]
+    fn entropy_rng_is_flagged_in_lib_and_tests_but_not_harness() {
+        let src = "fn f() { let mut rng = thread_rng(); }\n";
+        assert_eq!(check(src, Category::Lib, "protocol").len(), 1);
+        assert_eq!(check(src, Category::Test, "tests").len(), 1);
+        assert!(check(src, Category::Harness, "bench").is_empty());
+    }
+
+    #[test]
+    fn hot_path_function_may_not_allocate() {
+        let bad = "// hot-path\nfn record(&self, v: u64) {\n  let label = v.to_string();\n}\n";
+        let v = check(bad, Category::Lib, "telemetry");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::NoAllocHotPath);
+        assert_eq!(v[0].line, 3);
+        let good = "// hot-path\nfn record(&self, v: u64) { self.total += v; }\n\
+                    fn cold(&self) -> String { format!(\"x\") }\n";
+        assert!(check(good, Category::Lib, "telemetry").is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_hot_path_does_not_arm_the_rule() {
+        let src = "/// Functions on the hot-path: see docs.\n\
+                   fn f() -> Vec<u32> { Vec::new() }\n";
+        assert!(check(src, Category::Lib, "math").is_empty());
+    }
+
+    #[test]
+    fn vendor_pub_fn_needs_mirror_marker() {
+        let bad = "pub fn gen_range(&mut self) -> f64 { 0.0 }\n";
+        let v = check(bad, Category::Vendor, "rand");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::VendorDrift);
+        assert!(v[0].message.contains("gen_range"));
+        let good = "/// Mirrors `rand::Rng::gen_range` for the half-open f64 case.\n\
+                    pub fn gen_range(&mut self) -> f64 { 0.0 }\n";
+        assert!(check(good, Category::Vendor, "rand").is_empty());
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Workspace walking and file classification for `hdldp-lint`.
+//!
+//! [`scan_workspace`] discovers every Rust source file in the repository,
+//! classifies it into a [`Category`] (which decides the rule set, see
+//! [`crate::rules::rules_for`]), and runs the rule engine over it. The walk
+//! is filesystem-order independent: results are sorted by path, then line,
+//! so two runs over the same tree always print identical reports.
+
+use crate::lexer::FileModel;
+use crate::rules::{check_file, Category, FileContext, Violation};
+use std::path::{Path, PathBuf};
+
+/// Directories that are never scanned: build output, VCS state, experiment
+/// results, and the lint fixture corpus (which contains violations by
+/// design — the fixture tests drive the rules over it explicitly).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "results", "fixtures", ".github"];
+
+/// One classified file, ready for the rule engine.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// The rule set selector.
+    pub category: Category,
+    /// The crate the file belongs to (`""` for files outside any crate).
+    pub crate_name: String,
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Files that were scanned, in path order.
+    pub files: Vec<ScannedFile>,
+    /// Violations across all files, sorted by path then line then rule.
+    pub violations: Vec<Violation>,
+}
+
+impl ScanReport {
+    /// `true` when the scan found nothing to report.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Classify one path (relative to the workspace root).
+///
+/// Returns `None` for files the lint does not own (anything outside
+/// `crates/`, `vendor/`, `tests/`, `examples/`).
+pub fn classify(relative: &Path) -> Option<(Category, String)> {
+    let parts: Vec<&str> = relative
+        .iter()
+        .map(|p| p.to_str().unwrap_or_default())
+        .collect();
+    match parts.first().copied() {
+        Some("vendor") => {
+            let krate = parts.get(1).copied().unwrap_or_default();
+            Some((Category::Vendor, krate.to_string()))
+        }
+        Some("tests") | Some("examples") => {
+            let krate = parts.first().copied().unwrap_or_default();
+            Some((Category::Test, krate.to_string()))
+        }
+        Some("crates") => {
+            let krate = parts.get(1).copied().unwrap_or_default().to_string();
+            // Per-crate integration tests are test code; benches and
+            // binaries are harness code even inside lib crates; the bench
+            // crate is harness code throughout.
+            if parts.contains(&"tests") {
+                Some((Category::Test, krate))
+            } else if krate == "bench" || parts.contains(&"bin") || parts.contains(&"benches") {
+                Some((Category::Harness, krate))
+            } else {
+                Some((Category::Lib, krate))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Recursively collect the `.rs` files under `root` that the lint owns.
+pub fn discover(root: &Path) -> std::io::Result<Vec<ScannedFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<ScannedFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_str().unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let relative = path.strip_prefix(root).unwrap_or(&path);
+            if let Some((category, crate_name)) = classify(relative) {
+                out.push(ScannedFile {
+                    path: relative.to_path_buf(),
+                    category,
+                    crate_name,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file with an explicit category/crate (the fixture tests use
+/// this to drive rules over out-of-tree files).
+pub fn lint_file(
+    path: &Path,
+    category: Category,
+    crate_name: &str,
+) -> std::io::Result<Vec<Violation>> {
+    let model = FileModel::load(path)?;
+    Ok(check_file(
+        &model,
+        &FileContext {
+            category,
+            crate_name: crate_name.to_string(),
+        },
+    ))
+}
+
+/// Scan the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanReport> {
+    let files = discover(root)?;
+    let mut violations = Vec::new();
+    for file in &files {
+        let model = FileModel::load(&root.join(&file.path))?;
+        // Reported paths are workspace-relative even though the file was
+        // read through `root`.
+        let mut found = check_file(
+            &FileModel {
+                path: file.path.clone(),
+                lines: model.lines,
+            },
+            &FileContext {
+                category: file.category,
+                crate_name: file.crate_name.clone(),
+            },
+        );
+        violations.append(&mut found);
+    }
+    violations.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+    Ok(ScanReport { files, violations })
+}
+
+/// Locate the workspace root: walk up from `start` until a directory with a
+/// `Cargo.toml` declaring `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(path: &str) -> Option<Category> {
+        classify(Path::new(path)).map(|(c, _)| c)
+    }
+
+    #[test]
+    fn classification_covers_the_workspace_layout() {
+        assert_eq!(cat("crates/math/src/erf.rs"), Some(Category::Lib));
+        assert_eq!(
+            cat("crates/telemetry/src/histogram.rs"),
+            Some(Category::Lib)
+        );
+        assert_eq!(cat("crates/bench/src/runner.rs"), Some(Category::Harness));
+        assert_eq!(
+            cat("crates/bench/src/bin/fig4_mse_vs_epsilon.rs"),
+            Some(Category::Harness)
+        );
+        assert_eq!(
+            cat("crates/bench/benches/framework.rs"),
+            Some(Category::Harness)
+        );
+        assert_eq!(
+            cat("crates/analysis/src/bin/hdldp_lint.rs"),
+            Some(Category::Harness)
+        );
+        assert_eq!(cat("tests/tests/invariants.rs"), Some(Category::Test));
+        assert_eq!(
+            cat("crates/analysis/tests/schedule_checker.rs"),
+            Some(Category::Test)
+        );
+        assert_eq!(cat("examples/examples/quickstart.rs"), Some(Category::Test));
+        assert_eq!(cat("vendor/rand/src/lib.rs"), Some(Category::Vendor));
+        assert_eq!(cat("README.md"), None);
+        assert_eq!(cat("build.rs"), None);
+    }
+
+    #[test]
+    fn crate_name_is_extracted() {
+        let (_, name) = classify(Path::new("crates/telemetry/src/metrics.rs")).unwrap();
+        assert_eq!(name, "telemetry");
+        let (_, name) = classify(Path::new("vendor/serde_json/src/lib.rs")).unwrap();
+        assert_eq!(name, "serde_json");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates/analysis").exists());
+    }
+}

@@ -1,0 +1,383 @@
+//! A deterministic-schedule concurrency checker (a miniature `loom`).
+//!
+//! The telemetry and ingest layers rely on concurrency invariants that unit
+//! tests can only sample: a handful of real threads exercises a handful of
+//! interleavings out of millions. This module takes the opposite approach —
+//! it runs a *model* of the concurrent algorithm under **every** schedule a
+//! small thread count can produce, deterministically, with no real threads
+//! at all.
+//!
+//! A model is a set of [`ThreadProgram`]s, each a list of steps mutating a
+//! shared state `S`. A [`Schedule`] is the sequence of thread ids picked at
+//! each step. [`Explorer::explore`] enumerates all schedules by depth-first
+//! search (optionally bounding the number of *preemptions* — switches away
+//! from a thread that still has steps — which is the standard way to tame
+//! the factorial blow-up while keeping every practically relevant
+//! interleaving: most real bugs need only 1–2 preemptions). After every
+//! step the invariant callback runs; after the last step the final-state
+//! callback runs. The first failing schedule is reported with the exact
+//! thread sequence, so a failure replays with [`Explorer::run_schedule`].
+
+use std::fmt;
+
+/// One step of a model thread: a mutation of the shared state that the real
+/// system performs atomically (one atomic RMW, one field write, one load).
+/// Granularity is the modelling decision: anything the real code does NOT
+/// perform atomically must be split across two steps.
+pub type Step<S> = Box<dyn Fn(&mut S)>;
+
+/// A named sequence of steps executed in program order by one model thread.
+pub struct ThreadProgram<S> {
+    /// Thread name, used in failure reports.
+    pub name: String,
+    /// The steps, executed in order (the scheduler interleaves *between*
+    /// steps, never inside one).
+    pub steps: Vec<Step<S>>,
+}
+
+impl<S> ThreadProgram<S> {
+    /// Build a program from a name and its steps.
+    pub fn new(name: &str, steps: Vec<Step<S>>) -> Self {
+        Self {
+            name: name.to_string(),
+            steps,
+        }
+    }
+}
+
+/// The sequence of thread ids the scheduler picked, one per step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(pub Vec<usize>);
+
+impl fmt::Display for Schedule {
+    /// Renders as `t0 t0 t1 t0 ...` — paste-able into a replay test.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "t{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A failed exploration: which schedule broke which check.
+#[derive(Debug, Clone)]
+pub struct ScheduleFailure {
+    /// The exact interleaving that failed (replayable).
+    pub schedule: Schedule,
+    /// The step index at which the check failed (`steps.len()` for a
+    /// final-state failure).
+    pub at_step: usize,
+    /// What the invariant reported.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule [{}] failed at step {}: {}",
+            self.schedule, self.at_step, self.message
+        )
+    }
+}
+
+/// Statistics of a successful exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorationReport {
+    /// Number of complete schedules executed.
+    pub schedules: u64,
+    /// Total steps across all threads (the depth of every schedule).
+    pub steps: usize,
+    /// Schedules skipped by the preemption bound (0 when unbounded).
+    pub bounded_out: u64,
+}
+
+/// A boxed state predicate: `Ok(())` when the state is acceptable, an
+/// explanatory message otherwise.
+type StateCheck<S> = Box<dyn Fn(&S) -> Result<(), String>>;
+
+/// The checker: thread programs + invariants + an optional preemption bound.
+pub struct Explorer<S: Clone> {
+    threads: Vec<ThreadProgram<S>>,
+    /// Checked after **every** step.
+    invariant: StateCheck<S>,
+    /// Checked once all threads have finished.
+    final_check: StateCheck<S>,
+    /// `Some(k)`: explore only schedules with at most `k` preemptions.
+    preemption_bound: Option<usize>,
+}
+
+impl<S: Clone> Explorer<S> {
+    /// Build an explorer over `threads` with no checks and no bound.
+    pub fn new(threads: Vec<ThreadProgram<S>>) -> Self {
+        Self {
+            threads,
+            invariant: Box::new(|_| Ok(())),
+            final_check: Box::new(|_| Ok(())),
+            preemption_bound: None,
+        }
+    }
+
+    /// Install the per-step invariant.
+    #[must_use]
+    pub fn invariant(mut self, f: impl Fn(&S) -> Result<(), String> + 'static) -> Self {
+        self.invariant = Box::new(f);
+        self
+    }
+
+    /// Install the final-state check.
+    #[must_use]
+    pub fn final_check(mut self, f: impl Fn(&S) -> Result<(), String> + 'static) -> Self {
+        self.final_check = Box::new(f);
+        self
+    }
+
+    /// Bound the number of preemptions per schedule.
+    #[must_use]
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Total steps across all threads.
+    pub fn total_steps(&self) -> usize {
+        self.threads.iter().map(|t| t.steps.len()).sum()
+    }
+
+    /// Exhaustively execute every schedule (within the preemption bound)
+    /// from `initial`, checking the invariant after each step and the final
+    /// check at each leaf. Returns statistics, or the first failure.
+    pub fn explore(&self, initial: &S) -> Result<ExplorationReport, ScheduleFailure> {
+        let mut report = ExplorationReport {
+            schedules: 0,
+            steps: self.total_steps(),
+            bounded_out: 0,
+        };
+        let mut pcs = vec![0usize; self.threads.len()];
+        let mut trace = Vec::with_capacity(report.steps);
+        self.dfs(initial, &mut pcs, None, 0, &mut trace, &mut report)?;
+        Ok(report)
+    }
+
+    fn dfs(
+        &self,
+        state: &S,
+        pcs: &mut Vec<usize>,
+        last: Option<usize>,
+        preemptions: usize,
+        trace: &mut Vec<usize>,
+        report: &mut ExplorationReport,
+    ) -> Result<(), ScheduleFailure> {
+        let runnable: Vec<usize> = pcs
+            .iter()
+            .zip(&self.threads)
+            .enumerate()
+            .filter(|(_, (&pc, thread))| pc < thread.steps.len())
+            .map(|(t, _)| t)
+            .collect();
+        if runnable.is_empty() {
+            report.schedules += 1;
+            return (self.final_check)(state).map_err(|message| ScheduleFailure {
+                schedule: Schedule(trace.clone()),
+                at_step: trace.len(),
+                message,
+            });
+        }
+        for &t in &runnable {
+            // A switch to `t` while `last` could still run is a preemption.
+            let preempted = match last {
+                Some(l) => t != l && runnable.contains(&l),
+                None => false,
+            };
+            let p = preemptions + usize::from(preempted);
+            if let Some(bound) = self.preemption_bound {
+                if p > bound {
+                    report.bounded_out += 1;
+                    continue;
+                }
+            }
+            let mut next = state.clone();
+            // `runnable` only lists threads whose program counter is strictly
+            // inside their step list, so the lookup cannot miss.
+            let Some(step) = self
+                .threads
+                .get(t)
+                .and_then(|th| pcs.get(t).and_then(|&pc| th.steps.get(pc)))
+            else {
+                continue;
+            };
+            step(&mut next);
+            trace.push(t);
+            if let Some(pc) = pcs.get_mut(t) {
+                *pc += 1;
+            }
+            let checked = (self.invariant)(&next).map_err(|message| ScheduleFailure {
+                schedule: Schedule(trace.clone()),
+                at_step: trace.len() - 1,
+                message,
+            });
+            let result = checked.and_then(|()| self.dfs(&next, pcs, Some(t), p, trace, report));
+            if let Some(pc) = pcs.get_mut(t) {
+                *pc -= 1;
+            }
+            trace.pop();
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Replay one explicit schedule (for reproducing a reported failure).
+    /// Ignores the preemption bound. Returns the final state.
+    pub fn run_schedule(&self, initial: &S, schedule: &Schedule) -> Result<S, ScheduleFailure> {
+        let mut state = initial.clone();
+        let mut pcs = vec![0usize; self.threads.len()];
+        for (i, &t) in schedule.0.iter().enumerate() {
+            let pc = pcs.get(t).copied().unwrap_or(usize::MAX);
+            let step = self
+                .threads
+                .get(t)
+                .and_then(|th| th.steps.get(pc))
+                .ok_or_else(|| ScheduleFailure {
+                    schedule: schedule.clone(),
+                    at_step: i,
+                    message: format!("schedule names thread t{t} past its last step"),
+                })?;
+            step(&mut state);
+            if let Some(pc) = pcs.get_mut(t) {
+                *pc += 1;
+            }
+            (self.invariant)(&state).map_err(|message| ScheduleFailure {
+                schedule: schedule.clone(),
+                at_step: i,
+                message,
+            })?;
+        }
+        if pcs
+            .iter()
+            .zip(&self.threads)
+            .all(|(&pc, t)| pc == t.steps.len())
+        {
+            (self.final_check)(&state).map_err(|message| ScheduleFailure {
+                schedule: schedule.clone(),
+                at_step: schedule.0.len(),
+                message,
+            })?;
+        }
+        Ok(state)
+    }
+}
+
+/// `C(n+m, n)`-style multinomial count of interleavings of the given
+/// per-thread step counts — what an unbounded exploration must visit.
+pub fn interleaving_count(step_counts: &[usize]) -> u64 {
+    let mut total: u64 = 1;
+    let mut placed: u64 = 0;
+    for &count in step_counts {
+        for i in 1..=count as u64 {
+            placed += 1;
+            // total *= placed; total /= i — kept exact by multiplying first.
+            total = total * placed / i;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, Default)]
+    struct Pair {
+        a: u64,
+        b: u64,
+    }
+
+    fn incr_thread(n: usize, field: fn(&mut Pair) -> &mut u64) -> ThreadProgram<Pair> {
+        let steps: Vec<Step<Pair>> = (0..n)
+            .map(|_| {
+                let f = field;
+                Box::new(move |s: &mut Pair| *f(s) += 1) as Step<Pair>
+            })
+            .collect();
+        ThreadProgram::new("incr", steps)
+    }
+
+    #[test]
+    fn unbounded_exploration_visits_every_interleaving() {
+        let threads = vec![incr_thread(3, |s| &mut s.a), incr_thread(3, |s| &mut s.b)];
+        let report = Explorer::new(threads)
+            .final_check(|s| {
+                if s.a == 3 && s.b == 3 {
+                    Ok(())
+                } else {
+                    Err(format!("lost updates: a={} b={}", s.a, s.b))
+                }
+            })
+            .explore(&Pair::default())
+            .expect("all schedules pass");
+        // C(6,3) = 20 interleavings of two 3-step threads.
+        assert_eq!(report.schedules, 20);
+        assert_eq!(report.schedules, interleaving_count(&[3, 3]));
+        assert_eq!(report.bounded_out, 0);
+    }
+
+    #[test]
+    fn preemption_bound_prunes_but_keeps_serial_schedules() {
+        let threads = vec![incr_thread(4, |s| &mut s.a), incr_thread(4, |s| &mut s.b)];
+        let bounded = Explorer::new(threads)
+            .preemption_bound(0)
+            .explore(&Pair::default())
+            .expect("serial schedules pass");
+        // Zero preemptions over two threads = the two serial orders.
+        assert_eq!(bounded.schedules, 2);
+        assert!(bounded.bounded_out > 0);
+    }
+
+    #[test]
+    fn invariant_failure_reports_a_replayable_schedule() {
+        // Invariant "a >= b" breaks as soon as the b-thread runs first.
+        let threads = vec![incr_thread(2, |s| &mut s.a), incr_thread(2, |s| &mut s.b)];
+        let explorer = Explorer::new(threads).invariant(|s: &Pair| {
+            if s.a >= s.b {
+                Ok(())
+            } else {
+                Err(format!("a={} < b={}", s.a, s.b))
+            }
+        });
+        let failure = explorer
+            .explore(&Pair::default())
+            .expect_err("some schedule must fail");
+        // Replaying the reported schedule reproduces the failure.
+        let replay = explorer.run_schedule(&Pair::default(), &failure.schedule);
+        assert!(replay.is_err());
+        assert_eq!(replay.unwrap_err().message, failure.message);
+    }
+
+    #[test]
+    fn three_thread_counts_match_the_multinomial() {
+        let threads = vec![
+            incr_thread(2, |s| &mut s.a),
+            incr_thread(2, |s| &mut s.b),
+            incr_thread(2, |s| &mut s.a),
+        ];
+        let report = Explorer::new(threads)
+            .explore(&Pair::default())
+            .expect("no checks installed");
+        // 6!/(2!2!2!) = 90.
+        assert_eq!(report.schedules, 90);
+        assert_eq!(report.schedules, interleaving_count(&[2, 2, 2]));
+    }
+
+    #[test]
+    fn malformed_schedule_replay_is_an_error() {
+        let threads = vec![incr_thread(1, |s| &mut s.a)];
+        let explorer = Explorer::new(threads);
+        let err = explorer
+            .run_schedule(&Pair::default(), &Schedule(vec![0, 0]))
+            .expect_err("second step does not exist");
+        assert!(err.message.contains("past its last step"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Fixture-corpus tests for the `hdldp-lint` rule engine.
+//!
+//! Each dirty fixture targets one rule; the assertions pin the exact
+//! `(rule, line)` pairs so a rule that drifts (over- or under-reporting)
+//! fails loudly. The final test scans the live workspace and requires it to
+//! be clean — the same gate CI runs through the `hdldp-lint` binary.
+
+use hdldp_analysis::{find_workspace_root, lint_file, scan_workspace, Category, RuleId, Violation};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn pairs(violations: &[Violation]) -> Vec<(RuleId, usize)> {
+    violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+fn lint(name: &str, category: Category, crate_name: &str) -> Vec<(RuleId, usize)> {
+    let found = lint_file(&fixture(name), category, crate_name).expect("fixture readable");
+    pairs(&found)
+}
+
+#[test]
+fn no_panic_in_lib_flags_every_panic_idiom() {
+    assert_eq!(
+        lint("dirty/panics.rs", Category::Lib, "fixture"),
+        vec![
+            (RuleId::NoPanicInLib, 6),  // .unwrap()
+            (RuleId::NoPanicInLib, 10), // .expect(
+            (RuleId::NoPanicInLib, 14), // panic!(
+            (RuleId::NoPanicInLib, 20), // unreachable!(
+            (RuleId::NoPanicInLib, 26), // items[i] on a tracked Vec
+        ],
+    );
+}
+
+#[test]
+fn unsafe_needs_a_safety_comment_within_three_lines() {
+    assert_eq!(
+        lint("dirty/unsafe_no_safety.rs", Category::Lib, "fixture"),
+        vec![
+            (RuleId::UnsafeNeedsSafetyComment, 4),
+            (RuleId::UnsafeNeedsSafetyComment, 19),
+        ],
+    );
+}
+
+#[test]
+fn raw_atomics_outside_telemetry_are_flagged() {
+    assert_eq!(
+        lint(
+            "dirty/atomics_outside_telemetry.rs",
+            Category::Lib,
+            "protocol"
+        ),
+        vec![
+            (RuleId::AtomicOrderingDiscipline, 4), // use std::sync::atomic
+            (RuleId::AtomicOrderingDiscipline, 7), // AtomicU64 cell
+        ],
+    );
+}
+
+#[test]
+fn telemetry_non_relaxed_orderings_need_pair_annotations() {
+    assert_eq!(
+        lint("dirty/telemetry_ordering.rs", Category::Lib, "telemetry"),
+        vec![(RuleId::AtomicOrderingDiscipline, 8)],
+    );
+}
+
+#[test]
+fn entropy_sources_are_flagged_even_in_tests() {
+    assert_eq!(
+        lint("dirty/entropy.rs", Category::Lib, "fixture"),
+        vec![
+            (RuleId::DeterministicRng, 5),  // thread_rng
+            (RuleId::DeterministicRng, 13), // from_entropy, inside #[cfg(test)]
+        ],
+    );
+}
+
+#[test]
+fn hot_path_functions_may_not_allocate() {
+    assert_eq!(
+        lint("dirty/hot_alloc.rs", Category::Lib, "fixture"),
+        vec![(RuleId::NoAllocHotPath, 6)],
+    );
+}
+
+#[test]
+fn vendored_pub_fns_need_mirrors_markers() {
+    assert_eq!(
+        lint("dirty/vendor_shim.rs", Category::Vendor, "fixture"),
+        vec![(RuleId::VendorDrift, 5)],
+    );
+}
+
+#[test]
+fn malformed_allow_entries_are_violations_and_do_not_suppress() {
+    assert_eq!(
+        lint("dirty/bad_allows.rs", Category::Lib, "fixture"),
+        vec![
+            (RuleId::LintAllow, 4),     // unknown rule name
+            (RuleId::LintAllow, 9),     // no justification
+            (RuleId::NoPanicInLib, 10), // the unwrap stays flagged
+        ],
+    );
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    assert_eq!(lint("clean/lib_ok.rs", Category::Lib, "fixture"), vec![]);
+}
+
+#[test]
+fn vendor_category_skips_lib_only_rules() {
+    // The panic fixture is full of unwraps, but the Vendor rule set only
+    // carries the safety-comment and drift rules — and the drift rule then
+    // flags the uncovered pub fns.
+    let found = lint("dirty/panics.rs", Category::Vendor, "fixture");
+    assert!(found.iter().all(|(rule, _)| *rule == RuleId::VendorDrift));
+    assert!(!found.is_empty());
+}
+
+#[test]
+fn test_category_keeps_determinism_but_tolerates_panics() {
+    // Test code unwraps freely, but must stay seed-replayable.
+    assert_eq!(lint("dirty/panics.rs", Category::Test, "fixture"), vec![]);
+    assert_eq!(
+        lint("dirty/entropy.rs", Category::Test, "fixture"),
+        vec![
+            (RuleId::DeterministicRng, 5),
+            (RuleId::DeterministicRng, 13),
+        ],
+    );
+}
+
+#[test]
+fn the_workspace_scans_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above the analysis crate");
+    let report = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files.len() > 100,
+        "expected the full workspace, scanned only {} files",
+        report.files.len()
+    );
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean, found:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!(
+                "{}:{}: [{}] {}",
+                v.path.display(),
+                v.line,
+                v.rule,
+                v.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

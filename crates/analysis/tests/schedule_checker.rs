@@ -1,0 +1,175 @@
+//! Exhaustive-schedule runs of the concurrency models, cross-checked
+//! against the real lock-free types they model.
+//!
+//! The exhaustive configurations are chosen so that every interleaving is
+//! enumerated (the expected schedule counts are asserted via the
+//! multinomial [`interleaving_count`]); the larger configurations bound
+//! preemptions, matching how loom-style checkers scale past exhaustive
+//! territory. The cross-checks replay the same inputs through
+//! `hdldp_telemetry` and `hdldp_protocol` and require the quiesced model
+//! state to agree with the real implementations.
+
+use hdldp_analysis::{
+    histogram_explorer, interleaving_count, merge_in_order, model_bucket_index, permutations,
+    shard_explorer, MODEL_BUCKETS,
+};
+use hdldp_protocol::ShardAccumulator;
+use hdldp_telemetry::Registry;
+
+#[test]
+fn histogram_two_recorders_one_snapshot_exhaustive() {
+    // Two recorders with one value each (3 steps apiece) plus one snapshot
+    // (1 begin + MODEL_BUCKETS loads + sum + max + commit steps).
+    let (explorer, initial) = histogram_explorer(&[vec![1], vec![9]], 1);
+    let report = explorer
+        .explore(&initial)
+        .expect("no schedule may violate snapshot bounds or monotonicity");
+    let expected = interleaving_count(&[3, 3, MODEL_BUCKETS + 4]);
+    assert_eq!(report.schedules, expected);
+    assert_eq!(report.bounded_out, 0, "no bound was set");
+}
+
+#[test]
+fn histogram_two_snapshots_stay_monotone_under_every_schedule() {
+    let (explorer, initial) = histogram_explorer(&[vec![5]], 2);
+    let report = explorer
+        .explore(&initial)
+        .expect("successive snapshots must be monotone in count/sum/max/buckets");
+    let expected = interleaving_count(&[3, 2 * (MODEL_BUCKETS + 4)]);
+    assert_eq!(report.schedules, expected);
+}
+
+#[test]
+fn histogram_three_threads_with_preemption_bound() {
+    // Three recorders and one snapshotter is too many steps to enumerate
+    // exhaustively; two preemptions already cover the torn-snapshot
+    // scenarios (a snapshot interrupted twice mid-read).
+    let (explorer, initial) = histogram_explorer(&[vec![1, 2], vec![7], vec![15]], 1);
+    let report = explorer
+        .preemption_bound(2)
+        .explore(&initial)
+        .expect("bounded exploration must stay invariant-clean");
+    assert!(report.schedules > 0);
+    assert!(report.bounded_out > 0, "the bound must actually prune");
+}
+
+#[test]
+fn model_buckets_mirror_the_real_bucket_shape() {
+    // The model bucket function is the real `bucket_index` capped at
+    // MODEL_BUCKETS: bit length of the value. Spot-check the boundaries the
+    // real histogram uses (0 → bucket 0, 1 → bucket 1, 2..3 → bucket 2, ...).
+    assert_eq!(model_bucket_index(0), 0);
+    for shift in 0..3 {
+        let v = 1u64 << shift;
+        assert_eq!(model_bucket_index(v), (shift + 1).min(MODEL_BUCKETS - 1));
+    }
+}
+
+#[test]
+fn quiesced_model_agrees_with_the_real_histogram() {
+    // Replay the model's inputs through the real lock-free histogram; the
+    // final model state already passed its exactness final-check, so the
+    // real type must agree on count and sum.
+    let values: Vec<u64> = vec![1, 9, 5, 200, 3];
+    let (explorer, initial) = histogram_explorer(std::slice::from_ref(&values), 1);
+    explorer.explore(&initial).expect("model run is clean");
+
+    let registry = Registry::new();
+    let histogram = registry.histogram("model_crosscheck");
+    for &v in &values {
+        histogram.record_ns(v);
+    }
+    assert_eq!(histogram.count(), values.len() as u64);
+    let snapshot = registry.snapshot();
+    let real = snapshot
+        .histogram("model_crosscheck")
+        .expect("histogram snapshot present");
+    assert_eq!(real.count, values.len() as u64);
+    assert_eq!(real.sum_ns, values.iter().sum::<u64>());
+    assert_eq!(real.max_ns, *values.iter().max().expect("non-empty"));
+}
+
+#[test]
+fn shard_two_writers_exhaustive_and_commutative() {
+    let per_shard = vec![
+        vec![(0usize, 0.5f64), (1, 0.25)],
+        vec![(0, 1.0), (1, 0.125)],
+    ];
+    let (explorer, initial) = shard_explorer(&per_shard, 2);
+    let report = explorer
+        .explore(&initial)
+        .expect("disjoint shards must be schedule-independent and merge-commutative");
+    // Each writer: 2 steps per entry + 1 report step = 5 steps.
+    let expected = interleaving_count(&[5, 5]);
+    assert_eq!(report.schedules, expected);
+}
+
+#[test]
+fn shard_three_writers_with_preemption_bound() {
+    let per_shard = vec![
+        vec![(0usize, 0.5f64), (1, 0.25)],
+        vec![(0, 1.0)],
+        vec![(1, 2.0), (0, 0.125)],
+    ];
+    let (explorer, initial) = shard_explorer(&per_shard, 2);
+    let report = explorer
+        .preemption_bound(3)
+        .explore(&initial)
+        .expect("bounded exploration must stay clean");
+    assert!(report.schedules > 0);
+    assert!(report.bounded_out > 0);
+}
+
+#[test]
+fn model_merge_agrees_with_the_real_accumulator() {
+    // Accumulate the same per-shard entries into real ShardAccumulators,
+    // merge them in two opposite orders, and require both the model and the
+    // real type to produce identical totals.
+    let per_shard = vec![
+        vec![(0usize, 0.5f64), (1, 0.25), (2, 4.0)],
+        vec![(0, 1.0), (2, 0.125)],
+    ];
+    let dims = 3;
+
+    let (explorer, initial) = shard_explorer(&per_shard, dims);
+    explorer.explore(&initial).expect("model run is clean");
+
+    let mut shards: Vec<ShardAccumulator> = Vec::new();
+    for entries in &per_shard {
+        let mut acc = ShardAccumulator::new(dims).expect("valid dims");
+        acc.accumulate(entries).expect("entries in range");
+        shards.push(acc);
+    }
+    let mut forward = ShardAccumulator::new(dims).expect("valid dims");
+    for shard in &shards {
+        forward.merge(shard).expect("same dims");
+    }
+    let mut backward = ShardAccumulator::new(dims).expect("valid dims");
+    for shard in shards.iter().rev() {
+        backward.merge(shard).expect("same dims");
+    }
+    assert_eq!(forward.sums(), backward.sums(), "real merge must commute");
+    assert_eq!(forward.counts(), backward.counts());
+
+    // The model's serial state merged in any order equals the real totals.
+    let mut model_state = initial.clone();
+    for (i, entries) in per_shard.iter().enumerate() {
+        for &(dim, value) in entries {
+            model_state.shards[i].sums[dim] += value;
+            model_state.shards[i].counts[dim] += 1;
+        }
+        model_state.shards[i].reports += 1;
+    }
+    for order in permutations(per_shard.len()) {
+        let merged = merge_in_order(&model_state, &order);
+        assert_eq!(merged.sums, forward.sums(), "order {order:?}");
+        assert_eq!(merged.counts, forward.counts(), "order {order:?}");
+    }
+}
+
+#[test]
+fn interleaving_count_is_the_multinomial() {
+    assert_eq!(interleaving_count(&[1, 1]), 2);
+    assert_eq!(interleaving_count(&[3, 3]), 20);
+    assert_eq!(interleaving_count(&[2, 2, 2]), 90);
+}

@@ -79,7 +79,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
                         for (user, report) in reports.iter().enumerate() {
                             engine.submit(user as u64, black_box(report)).unwrap();
                         }
-                        engine.flush();
+                        engine.flush().unwrap();
                         black_box(engine.report_counts().unwrap())
                     })
                 },
@@ -115,7 +115,7 @@ fn bench_sharded_ingest_telemetry(c: &mut Criterion) {
                         for (user, report) in reports.iter().enumerate() {
                             engine.submit(user as u64, black_box(report)).unwrap();
                         }
-                        engine.flush();
+                        engine.flush().unwrap();
                         black_box(engine.report_counts().unwrap())
                     })
                 },

@@ -187,16 +187,16 @@ pub fn proximal_gradient_descent_reference(
     while iterations < config.max_iterations {
         iterations += 1;
         let mut max_change: f64 = 0.0;
-        for j in 0..theta.len() {
+        for ((t, &est), &w) in theta.iter_mut().zip(estimate).zip(weights) {
             // Gradient step on L(θ) = 0.5 ‖θ − θ̂‖²: z = θ_j − η (θ_j − θ̂_j).
-            let z = theta[j] - eta * (theta[j] - estimate[j]);
+            let z = *t - eta * (*t - est);
             // Proximal step with the η-scaled penalty.
             let next = match regularization {
-                Regularization::L1 => soft_threshold(z, eta * weights[j]),
-                Regularization::L2 => l2_shrink(z, eta * weights[j]),
+                Regularization::L1 => soft_threshold(z, eta * w),
+                Regularization::L2 => l2_shrink(z, eta * w),
             };
-            max_change = max_change.max((next - theta[j]).abs());
-            theta[j] = next;
+            max_change = max_change.max((next - *t).abs());
+            *t = next;
         }
         if max_change <= config.tolerance {
             converged = true;

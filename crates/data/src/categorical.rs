@@ -154,6 +154,7 @@ impl CategoricalDataset {
                 len: self.dims(),
             });
         }
+        // lint:allow(no-panic-in-lib) i and j are bounds-checked above, so the flat index is < users * dims == values.len()
         Ok(self.values[i * self.dims() + j])
     }
 
@@ -169,9 +170,17 @@ impl CategoricalDataset {
                 len: self.dims(),
             });
         }
+        // lint:allow(no-panic-in-lib) j was bounds-checked against dims() == categories.len() above
         let mut counts = vec![0usize; self.categories[j]];
-        for i in 0..self.users {
-            counts[self.values[i * self.dims() + j]] += 1;
+        for row in self.values.chunks(self.dims()) {
+            // Stored values are < categories[j] by construction, so the
+            // tally slot always exists; get_mut keeps that an invariant
+            // rather than a panic site.
+            if let Some(&c) = row.get(j) {
+                if let Some(slot) = counts.get_mut(c) {
+                    *slot += 1;
+                }
+            }
         }
         Ok(counts
             .iter()
@@ -196,11 +205,15 @@ impl CategoricalDataset {
                 len: self.dims(),
             });
         }
+        // lint:allow(no-panic-in-lib) j was bounds-checked against dims() == categories.len() above
         let cats = self.categories[j];
         let mut values = vec![0.0; self.users * cats];
-        for i in 0..self.users {
-            let c = self.values[i * self.dims() + j];
-            values[i * cats + c] = 1.0;
+        for (row, src) in values.chunks_mut(cats).zip(self.values.chunks(self.dims())) {
+            if let Some(&c) = src.get(j) {
+                if let Some(slot) = row.get_mut(c) {
+                    *slot = 1.0;
+                }
+            }
         }
         Dataset::from_rows(self.users, cats, values)
     }
@@ -216,13 +229,20 @@ impl CategoricalDataset {
             acc += c;
         }
         let mut values = vec![0.0; self.users * total];
-        for i in 0..self.users {
-            for j in 0..self.dims() {
-                let c = self.values[i * self.dims() + j];
-                values[i * total + offsets[j] + c] = 1.0;
+        for (row, user_vals) in values
+            .chunks_mut(total)
+            .zip(self.values.chunks(self.dims()))
+        {
+            for (&off, &c) in offsets.iter().zip(user_vals) {
+                // off + c < off + categories[j] <= total for every stored
+                // value, so the one-hot slot always exists.
+                if let Some(slot) = row.get_mut(off + c) {
+                    *slot = 1.0;
+                }
             }
         }
         (
+            // lint:allow(no-panic-in-lib) users * total == values.len() by the allocation one loop up, which is exactly the shape from_rows validates
             Dataset::from_rows(self.users, total, values).expect("shape is valid"),
             offsets,
         )

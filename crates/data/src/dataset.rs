@@ -152,6 +152,7 @@ impl Dataset {
     /// The true per-dimension means `θ̄` (ground truth for utility metrics).
     pub fn true_means(&self) -> Vec<f64> {
         stats::column_means(&self.values, self.users, self.dims)
+            // lint:allow(no-panic-in-lib) values.len() == users * dims is enforced by from_rows, which is exactly what column_means validates
             .expect("shape validated at construction")
     }
 
@@ -197,11 +198,10 @@ impl Dataset {
             }
         }
         let mut values = Vec::with_capacity(self.users * columns.len());
-        for i in 0..self.users {
-            let row = &self.values[i * self.dims..(i + 1) * self.dims];
-            for &c in columns {
-                values.push(row[c]);
-            }
+        for row in self.values.chunks(self.dims) {
+            // Every entry of `columns` was validated against dims above, so
+            // the per-row lookups cannot fail.
+            values.extend(columns.iter().filter_map(|&c| row.get(c).copied()));
         }
         Self::from_rows(self.users, columns.len(), values)
     }
@@ -217,7 +217,8 @@ impl Dataset {
                 reason: format!("cannot take {rows} users from a dataset of {}", self.users),
             });
         }
-        Self::from_rows(rows, self.dims, self.values[..rows * self.dims].to_vec())
+        let taken = self.values.iter().take(rows * self.dims).copied().collect();
+        Self::from_rows(rows, self.dims, taken)
     }
 
     /// Compute per-column bucketing profiles (min, max, per-bucket counts) for
@@ -252,27 +253,35 @@ impl Dataset {
         let parallel = self.values.len() >= PARALLEL_PROFILE_ELEMENTS
             && rayon::current_num_threads() > 1
             && block_count > 1;
-        if parallel {
-            let blocks: Vec<ProfileBlock> = (0..block_count)
+        let blocks: Vec<ProfileBlock> = if parallel {
+            (0..block_count)
                 .into_par_iter()
                 .map(|b| self.profile_block(b * PROFILE_BLOCK, buckets))
-                .collect();
-            for (b, block) in blocks.into_iter().enumerate() {
-                let base = b * PROFILE_BLOCK;
-                let w = block.width;
-                mins[base..base + w].copy_from_slice(&block.mins[..w]);
-                maxs[base..base + w].copy_from_slice(&block.maxs[..w]);
-                counts[base * buckets..(base + w) * buckets].copy_from_slice(&block.counts);
-            }
+                .collect()
         } else {
-            for b in 0..block_count {
-                let base = b * PROFILE_BLOCK;
-                let block = self.profile_block(base, buckets);
-                let w = block.width;
-                mins[base..base + w].copy_from_slice(&block.mins[..w]);
-                maxs[base..base + w].copy_from_slice(&block.maxs[..w]);
-                counts[base * buckets..(base + w) * buckets].copy_from_slice(&block.counts);
+            (0..block_count)
+                .map(|b| self.profile_block(b * PROFILE_BLOCK, buckets))
+                .collect()
+        };
+        // Stitch block results back in column order. chunks_mut hands each
+        // block a destination of exactly `width` lanes (the final chunk is the
+        // ragged one), so the copies below are length-matched by construction.
+        for ((block, mins_chunk), (maxs_chunk, counts_chunk)) in
+            blocks.iter().zip(mins.chunks_mut(PROFILE_BLOCK)).zip(
+                maxs.chunks_mut(PROFILE_BLOCK)
+                    .zip(counts.chunks_mut(PROFILE_BLOCK * buckets)),
+            )
+        {
+            let w = block.width;
+            debug_assert_eq!(w, mins_chunk.len());
+            debug_assert_eq!(w * buckets, counts_chunk.len());
+            if let Some(src) = block.mins.get(..w) {
+                mins_chunk.copy_from_slice(src);
             }
+            if let Some(src) = block.maxs.get(..w) {
+                maxs_chunk.copy_from_slice(src);
+            }
+            counts_chunk.copy_from_slice(&block.counts);
         }
 
         Ok(ColumnProfiles {
@@ -288,12 +297,17 @@ impl Dataset {
     /// Profile one block of up to `PROFILE_BLOCK` columns starting at `base`.
     fn profile_block(&self, base: usize, buckets: usize) -> ProfileBlock {
         let dims = self.dims;
+        debug_assert!(base < dims, "block base {base} out of {dims} columns");
+        debug_assert!(buckets > 0, "bucket count must be positive");
+        debug_assert_eq!(self.values.len(), self.users * dims);
         let w = PROFILE_BLOCK.min(dims - base);
         let mut lmin = [f64::INFINITY; PROFILE_BLOCK];
         let mut lmax = [f64::NEG_INFINITY; PROFILE_BLOCK];
-        // Pass 1: per-lane min/max over contiguous row slices.
-        for row in 0..self.users {
-            let r = &self.values[row * dims + base..row * dims + base + w];
+        // Pass 1: per-lane min/max over contiguous row slices. Each chunk is a
+        // full row of length dims, and base + w <= dims, so the sub-slice is
+        // always in range.
+        for row in self.values.chunks(dims) {
+            let r = &row[base..base + w];
             for (k, &x) in r.iter().enumerate() {
                 lmin[k] = lmin[k].min(x);
                 lmax[k] = lmax[k].max(x);
@@ -311,10 +325,12 @@ impl Dataset {
             };
         }
         let mut counts = vec![0u32; w * buckets];
-        for row in 0..self.users {
-            let r = &self.values[row * dims + base..row * dims + base + w];
+        for row in self.values.chunks(dims) {
+            let r = &row[base..base + w];
             for (k, &x) in r.iter().enumerate() {
                 let idx = (((x - lmin[k]) * inv[k]) as usize).min(buckets - 1);
+                debug_assert!(idx < buckets);
+                // lint:allow(no-panic-in-lib) k < w and idx < buckets (clamped by the min above), so k * buckets + idx < w * buckets == counts.len(); the hot kernel keeps direct indexing
                 counts[k * buckets + idx] += 1;
             }
         }
@@ -400,14 +416,14 @@ impl ColumnProfiles {
     /// # Errors
     /// Returns [`DataError::IndexOutOfBounds`] when `j >= dims`.
     pub fn range(&self, j: usize) -> crate::Result<(f64, f64)> {
-        if j >= self.dims {
-            return Err(DataError::IndexOutOfBounds {
+        match (self.mins.get(j), self.maxs.get(j)) {
+            (Some(&lo), Some(&hi)) => Ok((lo, hi)),
+            _ => Err(DataError::IndexOutOfBounds {
                 what: "column",
                 index: j,
                 len: self.dims,
-            });
+            }),
         }
-        Ok((self.mins[j], self.maxs[j]))
     }
 
     /// The bucketed value distribution of column `j`, identical to
@@ -417,19 +433,16 @@ impl ColumnProfiles {
     /// Returns [`DataError::IndexOutOfBounds`] when `j >= dims` and propagates
     /// distribution validation errors.
     pub fn distribution(&self, j: usize) -> crate::Result<DiscreteValueDistribution> {
-        if j >= self.dims {
-            return Err(DataError::IndexOutOfBounds {
+        let (lo, hi) = self.range(j)?;
+        let counts = self
+            .counts
+            .get(j * self.buckets..(j + 1) * self.buckets)
+            .ok_or(DataError::IndexOutOfBounds {
                 what: "column",
                 index: j,
                 len: self.dims,
-            });
-        }
-        DiscreteValueDistribution::from_bucket_counts(
-            self.mins[j],
-            self.maxs[j],
-            &self.counts[j * self.buckets..(j + 1) * self.buckets],
-            self.users,
-        )
+            })?;
+        DiscreteValueDistribution::from_bucket_counts(lo, hi, counts, self.users)
     }
 }
 

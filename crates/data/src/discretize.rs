@@ -83,6 +83,7 @@ impl DiscreteValueDistribution {
     /// values `0.1, 0.2, …, 1.0`, each with probability 10%.
     pub fn case_study() -> Self {
         let values: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
+        // lint:allow(no-panic-in-lib) uniform_over only rejects empty inputs and this literal has ten values
         Self::uniform_over(values).expect("static construction is valid")
     }
 
@@ -148,7 +149,9 @@ impl DiscreteValueDistribution {
         let mut counts = vec![0u32; buckets];
         for &x in column {
             let idx = (((x - lo) * inv) as usize).min(buckets - 1);
-            counts[idx] += 1;
+            if let Some(slot) = counts.get_mut(idx) {
+                *slot += 1;
+            }
         }
         Self::from_bucket_counts(lo, hi, &counts, column.len())
     }

@@ -125,6 +125,7 @@ impl GaussianDataset {
     /// Generate the dataset; values are clamped into `[-1, 1]`.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
         let means = self.dimension_means();
+        // lint:allow(no-panic-in-lib) std_dev was validated positive and finite by with_std_dev/new
         let noise = Normal::new(0.0, self.std_dev).expect("validated std dev");
         let mut values = Vec::with_capacity(self.users * self.dims);
         for _ in 0..self.users {
@@ -132,6 +133,7 @@ impl GaussianDataset {
                 values.push((mu + noise.sample(rng)).clamp(-1.0, 1.0));
             }
         }
+        // lint:allow(no-panic-in-lib) the loops above push exactly users * dims values
         Dataset::from_rows(self.users, self.dims, values).expect("shape is valid")
     }
 }
@@ -166,6 +168,7 @@ impl PoissonDataset {
             .collect();
         let samplers: Vec<Poisson<f64>> = rates
             .iter()
+            // lint:allow(no-panic-in-lib) rates are drawn from rate_range = [1, 99], which Poisson::new accepts
             .map(|&r| Poisson::new(r).expect("rates are positive"))
             .collect();
         let mut values = Vec::with_capacity(self.users * self.dims);
@@ -174,7 +177,9 @@ impl PoissonDataset {
                 values.push(sampler.sample(rng));
             }
         }
+        // lint:allow(no-panic-in-lib) the loops above push exactly users * dims values
         let raw = Dataset::from_rows(self.users, self.dims, values).expect("shape is valid");
+        // lint:allow(no-panic-in-lib) normalize_symmetric only rejects invalid target intervals and [-1, 1] is fixed here
         let (normalized, _) = normalize_symmetric(&raw).expect("valid target interval");
         normalized
     }
@@ -202,6 +207,7 @@ impl UniformDataset {
         let values: Vec<f64> = (0..self.users * self.dims)
             .map(|_| rng.gen_range(-1.0..=1.0))
             .collect();
+        // lint:allow(no-panic-in-lib) the iterator above yields exactly users * dims values
         Dataset::from_rows(self.users, self.dims, values).expect("shape is valid")
     }
 
@@ -211,8 +217,16 @@ impl UniformDataset {
     pub fn generate_case_study<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
         let support: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
         let values: Vec<f64> = (0..self.users * self.dims)
-            .map(|_| support[rng.gen_range(0..support.len())])
+            // gen_range(0..len) is always a valid index; the fallback keeps
+            // the closure total without a panic path.
+            .map(|_| {
+                support
+                    .get(rng.gen_range(0..support.len()))
+                    .copied()
+                    .unwrap_or(1.0)
+            })
             .collect();
+        // lint:allow(no-panic-in-lib) the iterator above yields exactly users * dims values
         Dataset::from_rows(self.users, self.dims, values).expect("shape is valid")
     }
 }
@@ -271,6 +285,7 @@ impl CorrelatedDataset {
             .map(|_| std_normal.sample(rng))
             .collect();
         let offsets: Vec<f64> = (0..self.dims).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        // lint:allow(no-panic-in-lib) noise_std is the fixed literal 0.05, which Normal::new accepts
         let noise = Normal::new(0.0, self.noise_std).expect("positive noise std");
 
         let mut values = Vec::with_capacity(self.users * self.dims);
@@ -278,16 +293,17 @@ impl CorrelatedDataset {
             let z: Vec<f64> = (0..self.latent_dims)
                 .map(|_| std_normal.sample(rng))
                 .collect();
-            for j in 0..self.dims {
-                let row = &loadings[j * self.latent_dims..(j + 1) * self.latent_dims];
-                let mut x = offsets[j];
+            for (row, &off) in loadings.chunks(self.latent_dims).zip(&offsets) {
+                let mut x = off;
                 for (w, zi) in row.iter().zip(&z) {
                     x += w * zi;
                 }
                 values.push(x + noise.sample(rng));
             }
         }
+        // lint:allow(no-panic-in-lib) the loops above push exactly users * dims values
         let raw = Dataset::from_rows(self.users, self.dims, values).expect("shape is valid");
+        // lint:allow(no-panic-in-lib) normalize_symmetric only rejects invalid target intervals and [-1, 1] is fixed here
         let (normalized, _) = normalize_symmetric(&raw).expect("valid target interval");
         normalized
     }

@@ -70,10 +70,8 @@ impl Normalizer {
         let (lo, hi) = self.target;
         let mid = 0.5 * (lo + hi);
         let mut values = Vec::with_capacity(data.users() * data.dims());
-        for i in 0..data.users() {
-            let row = data.row(i).expect("row index in range");
-            for (j, &x) in row.iter().enumerate() {
-                let (cmin, cmax) = self.ranges[j];
+        for row in data.as_slice().chunks(data.dims()) {
+            for (&x, &(cmin, cmax)) in row.iter().zip(&self.ranges) {
                 let y = if cmax > cmin {
                     lo + (x - cmin) / (cmax - cmin) * (hi - lo)
                 } else {

@@ -100,12 +100,11 @@ impl MechanismBenchmark {
         if idx >= self.suprema.len() {
             return None;
         }
-        self.rows.iter().max_by(|a, b| {
-            a.probabilities[idx]
-                .1
-                .partial_cmp(&b.probabilities[idx].1)
-                .expect("probabilities are never NaN")
-        })
+        // Probabilities are finite by construction; total_cmp orders them
+        // identically to partial_cmp and cannot panic.
+        self.rows
+            .iter()
+            .max_by(|a, b| a.probabilities[idx].1.total_cmp(&b.probabilities[idx].1))
     }
 
     /// Render the benchmark as an aligned text table (the shape of Table II).

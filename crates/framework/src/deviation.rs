@@ -135,6 +135,7 @@ impl DeviationApproximation {
     /// The approximating normal distribution `N(δ_j, σ_j²)`.
     pub fn normal(&self) -> Normal {
         Normal::from_mean_variance(self.delta, self.variance())
+            // lint:allow(no-panic-in-lib) delta/variance are validated finite and positive by the constructor, so this expect is unreachable
             .expect("variance validated at construction")
     }
 

@@ -64,13 +64,19 @@ impl ErfCache {
     /// The returned value is always exactly what [`erf`] would return: the
     /// cache is keyed on the full bit pattern, so there are no approximate
     /// matches, and a collision simply evicts the older entry.
+    // hot-path: one memo probe per erf evaluation in the analytical loops
     #[inline]
     pub fn erf(&mut self, x: f64) -> f64 {
         if x.is_nan() {
             return f64::NAN;
         }
         let bits = x.to_bits();
+        debug_assert_ne!(
+            bits, EMPTY,
+            "non-NaN argument cannot collide with the empty-slot sentinel"
+        );
         let slot = Self::slot(bits);
+        debug_assert!(slot < SLOTS, "slot mask must stay within the table");
         if self.keys[slot] == bits {
             self.hits += 1;
             return self.values[slot];

@@ -29,7 +29,9 @@ pub fn quantile(xs: &[f64], q: f64) -> crate::Result<f64> {
         });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    // NaN was rejected above; total_cmp agrees with partial_cmp on the rest
+    // and cannot panic.
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted_unchecked(&sorted, q))
 }
 

@@ -93,10 +93,12 @@ impl Mechanism for HybridMechanism {
     }
 
     fn output_support(&self) -> (f64, f64) {
-        let b = match self.bound() {
-            Bound::Bounded(b) => b,
-            Bound::Unbounded => unreachable!("hybrid is always bounded"),
-        };
+        // Computed directly (the same expression as `bound()`) so no
+        // unreachable arm is needed for the Unbounded case.
+        let b = self
+            .piecewise
+            .output_bound()
+            .max(self.duchi.output_magnitude());
         (-b, b)
     }
 

@@ -29,7 +29,13 @@ impl LaplaceMechanism {
     pub fn new(epsilon: f64) -> crate::Result<Self> {
         let epsilon = check_epsilon(epsilon)?;
         let scale = Self::SENSITIVITY / epsilon;
-        let noise = Laplace::centered(scale).expect("scale is positive by construction");
+        // 2/ε overflows to +inf for subnormal ε, which `centered` rejects;
+        // surface that as the invalid-parameter error instead of panicking.
+        let noise =
+            Laplace::centered(scale).map_err(|e| crate::MechanismError::InvalidParameter {
+                name: "epsilon",
+                reason: e.to_string(),
+            })?;
         Ok(Self { epsilon, noise })
     }
 

@@ -383,19 +383,24 @@ impl IngestEngine {
     /// Reading paths ([`merged`](IngestEngine::merged) and friends) already
     /// include buffered reports, so flushing is only needed to bound memory
     /// or before comparing shard state directly.
-    pub fn flush(&mut self) {
+    ///
+    /// # Errors
+    /// Propagates a dimensionality mismatch from the shard accumulator.
+    /// Batches validate entries on `push`, so this only fires if a batch
+    /// was mutated outside the engine's control; already-flushed shards
+    /// keep their reports, the failing batch is left un-cleared.
+    pub fn flush(&mut self) -> crate::Result<()> {
         for (index, (shard, batch)) in self.shards.iter_mut().zip(&mut self.pending).enumerate() {
             if !batch.is_empty() {
                 let timer = self.metrics.flush_timer();
-                shard
-                    .ingest_batch(batch)
-                    .expect("pending batch dims match the shard by construction");
+                shard.ingest_batch(batch)?;
                 timer.stop();
                 self.metrics
                     .record_flush(index, batch.reports(), batch.entries());
                 batch.clear();
             }
         }
+        Ok(())
     }
 
     /// Bulk-ingest the user range `users` in parallel, one worker per shard.
@@ -418,7 +423,7 @@ impl IngestEngine {
     {
         // Flush buffered reports first so per-shard arrival order matches the
         // equivalent serial submit sequence.
-        self.flush();
+        self.flush()?;
         let dims = self.dims;
         let router = self.router;
         let capacity = self.batch_capacity;
@@ -611,7 +616,7 @@ mod tests {
         let merged = engine.merged().unwrap();
         assert_eq!(merged.reports(), 2);
         assert_eq!(merged.means().unwrap(), vec![1.0, 3.0]);
-        engine.flush();
+        engine.flush().unwrap();
         assert_eq!(
             engine.shards().iter().map(|s| s.reports()).sum::<usize>(),
             2
@@ -637,7 +642,7 @@ mod tests {
         for (uid, e) in entries.iter().enumerate() {
             serial.submit_entries(uid as u64, e).unwrap();
         }
-        serial.flush();
+        serial.flush().unwrap();
         let mut parallel = IngestEngine::new(5, config).unwrap();
         parallel
             .ingest_partitioned(0..entries.len() as u64, |uid, out| {

@@ -48,6 +48,7 @@ impl ShardRouter {
     }
 
     /// The shard a user's reports are routed to (stable across runs).
+    // hot-path: pure integer mixing, called once per report
     pub fn route(&self, user_id: u64) -> usize {
         // Routing is the identity with one shard; skip the hash entirely so
         // the unsharded engine pays nothing for the routing layer.
@@ -147,6 +148,7 @@ impl ShardAccumulator {
     /// # Errors
     /// Returns [`ProtocolError::DimensionOutOfRange`] when an entry mentions a
     /// dimension `>= dims`; the accumulator is untouched in that case.
+    // hot-path: validate then add in place; error construction stays alloc-free
     pub fn accumulate(&mut self, entries: &[(usize, f64)]) -> crate::Result<()> {
         let dims = self.dims();
         // Validate before mutating so a bad report is rejected atomically.
@@ -173,16 +175,11 @@ impl ShardAccumulator {
     /// # Errors
     /// Returns [`ProtocolError::InvalidConfig`] when the batch was built for a
     /// different dimensionality.
+    // hot-path: the per-batch drain loop; the formatted mismatch error is
+    // built in the #[cold] helper below so this body never allocates
     pub fn ingest_batch(&mut self, batch: &ReportBatch) -> crate::Result<()> {
         if batch.dims() != self.dims() {
-            return Err(ProtocolError::InvalidConfig {
-                name: "batch",
-                reason: format!(
-                    "cannot ingest a {}-dimension batch into a {}-dimension shard",
-                    batch.dims(),
-                    self.dims()
-                ),
-            });
+            return Err(batch_dims_mismatch(batch.dims(), self.dims()));
         }
         for &(dim, value) in batch.flat_entries() {
             let partial = &mut self.partials[dim as usize];
@@ -241,6 +238,18 @@ impl ShardAccumulator {
     pub fn clear(&mut self) {
         self.partials.fill(DimPartial::ZERO);
         self.reports = 0;
+    }
+}
+
+/// Build the batch/shard dimensionality mismatch error. `#[cold]` keeps the
+/// `format!` machinery out of the inlined `ingest_batch` fast path.
+#[cold]
+fn batch_dims_mismatch(batch_dims: usize, shard_dims: usize) -> ProtocolError {
+    ProtocolError::InvalidConfig {
+        name: "batch",
+        reason: format!(
+            "cannot ingest a {batch_dims}-dimension batch into a {shard_dims}-dimension shard"
+        ),
     }
 }
 

@@ -49,6 +49,7 @@ fn bucket_upper_bound(i: usize) -> u64 {
 }
 
 impl HistogramCell {
+    // hot-path: three relaxed atomic RMWs per timing sample, no allocation
     fn record(&self, ns: u64) {
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -122,6 +123,7 @@ impl LatencyHistogram {
     }
 
     /// Record one duration, in nanoseconds.
+    // hot-path: a branch plus HistogramCell::record; disabled handles are free
     #[inline]
     pub fn record_ns(&self, ns: u64) {
         if let Some(cell) = &self.cell {

@@ -9,7 +9,7 @@ use crate::histogram::{HistogramCell, LatencyHistogram};
 use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell};
 use crate::snapshot::TelemetrySnapshot;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The shared state of an enabled registry.
 #[derive(Debug, Default)]
@@ -17,6 +17,16 @@ struct RegistryInner {
     counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
     gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+/// Lock a registry map, recovering from poisoning instead of panicking.
+///
+/// A poisoned lock means some thread panicked while registering; the maps
+/// are structurally valid at every await-free point inside the guard (an
+/// insert either happened or did not), so continuing is sound and keeps
+/// telemetry from turning an unrelated panic into a second one.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Names and owns metrics, and snapshots them into a [`TelemetrySnapshot`].
@@ -64,7 +74,7 @@ impl Registry {
         match &self.inner {
             None => Counter::noop(),
             Some(inner) => {
-                let mut counters = inner.counters.lock().expect("registry lock poisoned");
+                let mut counters = recover(&inner.counters);
                 let cell = counters
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(CounterCell::default()));
@@ -78,7 +88,7 @@ impl Registry {
         match &self.inner {
             None => Gauge::noop(),
             Some(inner) => {
-                let mut gauges = inner.gauges.lock().expect("registry lock poisoned");
+                let mut gauges = recover(&inner.gauges);
                 let cell = gauges
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(GaugeCell::default()));
@@ -92,7 +102,7 @@ impl Registry {
         match &self.inner {
             None => LatencyHistogram::noop(),
             Some(inner) => {
-                let mut histograms = inner.histograms.lock().expect("registry lock poisoned");
+                let mut histograms = recover(&inner.histograms);
                 let cell = histograms
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(HistogramCell::default()));
@@ -112,30 +122,21 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return TelemetrySnapshot::empty();
         };
-        let counters = inner
-            .counters
-            .lock()
-            .expect("registry lock poisoned")
+        let counters = recover(&inner.counters)
             .iter()
             .map(|(name, cell)| crate::CounterSnapshot {
                 name: name.clone(),
                 value: cell.load(),
             })
             .collect();
-        let gauges = inner
-            .gauges
-            .lock()
-            .expect("registry lock poisoned")
+        let gauges = recover(&inner.gauges)
             .iter()
             .map(|(name, cell)| crate::GaugeSnapshot {
                 name: name.clone(),
                 value: cell.load(),
             })
             .collect();
-        let histograms = inner
-            .histograms
-            .lock()
-            .expect("registry lock poisoned")
+        let histograms = recover(&inner.histograms)
             .iter()
             .map(|(name, cell)| cell.summarize(name))
             .collect();

@@ -126,9 +126,22 @@ impl OraclePipeline {
             engine
                 .ingest_partitioned(0..values.len() as u64, |user_id, scratch| {
                     let mut rng = StdRng::seed_from_u64(user_seed(seed, user_id));
-                    oracle
-                        .perturb_into(values[user_id as usize], &mut rng, scratch)
-                        .expect("values validated before ingest");
+                    // The engine hands back ids from the 0..values.len()
+                    // range it was given, and values were domain-checked
+                    // above, so both failure paths stay cold errors instead
+                    // of panics.
+                    let value = values.get(user_id as usize).copied().ok_or_else(|| {
+                        hdldp_protocol::ProtocolError::InvalidConfig {
+                            name: "user_id",
+                            reason: format!("user {user_id} outside 0..{}", values.len()),
+                        }
+                    })?;
+                    oracle.perturb_into(value, &mut rng, scratch).map_err(|e| {
+                        hdldp_protocol::ProtocolError::InvalidConfig {
+                            name: "oracle",
+                            reason: e.to_string(),
+                        }
+                    })?;
                     Ok(())
                 })
                 .map_err(WorkloadError::Protocol)?;
@@ -138,7 +151,10 @@ impl OraclePipeline {
         let estimated = engine.estimated_means().map_err(WorkloadError::Protocol)?;
         let mut truth = vec![0.0f64; k];
         for &v in values {
-            truth[v] += 1.0;
+            // v < k was checked on entry; get_mut keeps the tally panic-free.
+            if let Some(t) = truth.get_mut(v) {
+                *t += 1.0;
+            }
         }
         let n = values.len() as f64;
         for t in &mut truth {

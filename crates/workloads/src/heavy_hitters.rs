@@ -100,11 +100,12 @@ pub fn precision_recall(selected: &[usize], truth: &[usize]) -> PrecisionRecall 
 pub fn empirical_top_k(values: &[usize], categories: usize, k: usize) -> Vec<usize> {
     let mut counts = vec![0u64; categories];
     for &v in values {
-        if v < categories {
-            counts[v] += 1;
+        if let Some(c) = counts.get_mut(v) {
+            *c += 1;
         }
     }
     let mut order: Vec<usize> = (0..categories).collect();
+    // lint:allow(no-panic-in-lib) a and b come from 0..categories == counts.len(), so both lookups are in range
     order.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
     order.truncate(k.min(categories));
     order
@@ -142,7 +143,12 @@ pub fn planted_dataset(
     let mut weights = vec![(1.0 - heavy_mass) / (categories - heavy) as f64; categories];
     let zipf_total: f64 = (0..heavy).map(|i| 1.0 / (i + 1) as f64).sum();
     for (i, &id) in heavy_ids.iter().enumerate() {
-        weights[id] = heavy_mass / ((i + 1) as f64 * zipf_total);
+        // id = i * categories / heavy <= (heavy-1) * categories / heavy,
+        // which is < categories; get_mut documents the bound without a
+        // panicking index.
+        if let Some(w) = weights.get_mut(id) {
+            *w = heavy_mass / ((i + 1) as f64 * zipf_total);
+        }
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let values = (0..users)
@@ -246,12 +252,9 @@ impl HeavyHitterDetector {
         };
 
         let mut order: Vec<usize> = (0..frequencies.len()).collect();
-        order.sort_by(|&a, &b| {
-            frequencies[b]
-                .partial_cmp(&frequencies[a])
-                .expect("post-processed frequencies are finite")
-                .then(a.cmp(&b))
-        });
+        // Post-processed frequencies are finite; total_cmp gives the same
+        // descending order without a panicking unwrap on the comparison.
+        order.sort_by(|&a, &b| frequencies[b].total_cmp(&frequencies[a]).then(a.cmp(&b)));
         let selected = match self.config.rule {
             SelectionRule::TopK(k) => {
                 let mut top = order;

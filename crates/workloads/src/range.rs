@@ -268,28 +268,37 @@ pub fn true_range_frequency(values: &[usize], range: Range<usize>) -> f64 {
 /// between its children, which makes every parent exactly the sum of its
 /// children without changing any subtree's internal proportions.
 fn enforce_consistency(levels: &mut [Vec<f64>]) {
-    let depth = levels.len() - 1;
-    if depth == 0 {
-        levels[0][0] = 1.0;
-        return;
-    }
+    let depth = levels.len().saturating_sub(1);
     // Bottom-up weighted averaging (leaves are already their own average).
+    // split_at_mut pairs each level with the one below it; every parent owns
+    // exactly two children, so chunks(2) walks the child level in lockstep.
     for l in (0..depth).rev() {
         let h = depth - l + 1;
         let alpha = (1u64 << (h - 1)) as f64 / ((1u64 << h) - 1) as f64;
-        for node in 0..levels[l].len() {
-            let kids = levels[l + 1][2 * node] + levels[l + 1][2 * node + 1];
-            levels[l][node] = alpha * levels[l][node] + (1.0 - alpha) * kids;
+        let (upper, lower) = levels.split_at_mut(l + 1);
+        let (Some(parents), Some(children)) = (upper.last_mut(), lower.first()) else {
+            continue;
+        };
+        for (node, kids) in parents.iter_mut().zip(children.chunks(2)) {
+            let sum: f64 = kids.iter().sum();
+            *node = alpha * *node + (1.0 - alpha) * sum;
         }
     }
     // Top-down correction with the root pinned at the known total mass.
-    levels[0][0] = 1.0;
+    if let Some(root) = levels.first_mut().and_then(|l0| l0.first_mut()) {
+        *root = 1.0;
+    }
     for l in 0..depth {
-        for node in 0..levels[l].len() {
-            let kids = levels[l + 1][2 * node] + levels[l + 1][2 * node + 1];
-            let fix = 0.5 * (levels[l][node] - kids);
-            levels[l + 1][2 * node] += fix;
-            levels[l + 1][2 * node + 1] += fix;
+        let (upper, lower) = levels.split_at_mut(l + 1);
+        let (Some(parents), Some(children)) = (upper.last(), lower.first_mut()) else {
+            continue;
+        };
+        for (&node, kids) in parents.iter().zip(children.chunks_mut(2)) {
+            let sum: f64 = kids.iter().sum();
+            let fix = 0.5 * (node - sum);
+            for k in kids {
+                *k += fix;
+            }
         }
     }
 }

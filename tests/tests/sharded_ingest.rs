@@ -157,7 +157,7 @@ fn batch_capacity_one_flushes_every_report() {
     // With capacity 1 nothing is ever pending; with 64 everything still is.
     assert_eq!(tight.shard_loads().iter().sum::<usize>(), 50);
     assert_eq!(tight.merged().unwrap(), roomy.merged().unwrap());
-    roomy.flush();
+    roomy.flush().unwrap();
     assert_eq!(tight.merged().unwrap(), roomy.merged().unwrap());
 }
 

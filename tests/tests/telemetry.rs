@@ -27,18 +27,25 @@ thread_local! {
 /// [`System`] allocator wrapper that counts allocations per thread.
 struct CountingAllocator;
 
-// SAFETY-free: delegates entirely to `System`; the bookkeeping is a
-// thread-local counter bump, which cannot allocate.
+// SAFETY: every method delegates to `System` with its arguments unchanged,
+// so `System`'s GlobalAlloc contract carries over verbatim; the counter bump
+// via `try_with` cannot allocate, unwind, or reenter the allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (nonzero-size
+    // layout); forwarded to `System.alloc` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
         System.alloc(layout)
     }
 
+    // SAFETY: caller passes a block previously returned by this allocator
+    // with its original layout; `System.dealloc` requires exactly that.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (live block,
+    // matching layout, nonzero new size); forwarded to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCATIONS.try_with(|count| count.set(count.get() + 1));
         System.realloc(ptr, layout, new_size)
@@ -205,7 +212,7 @@ fn instrumented_engine_counts_match_the_workload() {
         ]);
         engine.submit(user, &report).unwrap();
     }
-    engine.flush();
+    engine.flush().unwrap();
     let merged = engine.merged().unwrap();
     assert_eq!(merged.reports(), users as usize);
 
@@ -244,7 +251,7 @@ fn rejected_reports_are_counted_and_not_ingested() {
     // Dimension out of range: rejected before touching any batch.
     assert!(engine.submit_entries(1, &[(99usize, 0.5)]).is_err());
 
-    engine.flush();
+    engine.flush().unwrap();
     let snapshot = registry.snapshot();
     assert_eq!(snapshot.counter("ingest_reports_total"), Some(1));
     assert_eq!(snapshot.counter("ingest_rejects_total"), Some(1));

@@ -43,6 +43,8 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     /// A compound `function_name/parameter` identifier.
+    ///
+    /// Mirrors `criterion::BenchmarkId::new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId`.
     pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
         BenchmarkId {
             id: format!("{function_name}/{parameter}"),
@@ -50,6 +52,8 @@ impl BenchmarkId {
     }
 
     /// An identifier carrying only a parameter value.
+    ///
+    /// Mirrors `criterion::BenchmarkId::from_parameter<P: Display>(parameter: P) -> BenchmarkId`.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
         BenchmarkId {
             id: parameter.to_string(),
@@ -76,6 +80,8 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measure `f`, called in a loop.
+    ///
+    /// Mirrors `criterion::Bencher::iter<O, R: FnMut() -> O>(&mut self, routine: R)`.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Warm-up and batch-size calibration: grow until a batch takes at
         // least ~1/20 of the measurement budget.
@@ -120,16 +126,22 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Accepted for API compatibility; the shim's timing is adaptive.
+    ///
+    /// Mirrors `criterion::BenchmarkGroup::sample_size(&mut self, n: usize) -> &mut Self`.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
 
     /// Accepted for API compatibility; the shim's timing is adaptive.
+    ///
+    /// Mirrors `criterion::BenchmarkGroup::measurement_time(&mut self, dur: Duration) -> &mut Self`.
     pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
         self
     }
 
     /// Run one benchmark.
+    ///
+    /// Mirrors `criterion::BenchmarkGroup::bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, f: F) -> &mut Self`.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -143,6 +155,8 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark parameterized by `input`.
+    ///
+    /// Mirrors `criterion::BenchmarkGroup::bench_with_input<ID, I: ?Sized, F>(&mut self, id: ID, input: &I, f: F) -> &mut Self`.
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: BenchmarkId,
@@ -160,6 +174,8 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Finish the group (no-op; results are recorded eagerly).
+    ///
+    /// Mirrors `criterion::BenchmarkGroup::finish(self)`.
     pub fn finish(self) {}
 }
 
@@ -171,6 +187,8 @@ pub struct Criterion {
 
 impl Criterion {
     /// Open a named benchmark group.
+    ///
+    /// Mirrors `criterion::Criterion::benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_, WallTime>`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             criterion: self,
@@ -179,6 +197,8 @@ impl Criterion {
     }
 
     /// Run a single ungrouped benchmark.
+    ///
+    /// Mirrors `criterion::Criterion::bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion`.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -197,6 +217,8 @@ impl Criterion {
     }
 
     /// Print a closing summary (invoked by `criterion_group!`).
+    ///
+    /// Mirrors `criterion::Criterion::final_summary(&self)`.
     pub fn final_summary(&self) {
         println!("bench: {} benchmarks measured", self.results.len());
     }

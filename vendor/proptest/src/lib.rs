@@ -28,6 +28,8 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     /// Configure the number of cases to run.
+    ///
+    /// Mirrors `proptest::test_runner::Config::with_cases(cases: u32) -> Self`.
     #[must_use]
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
@@ -212,6 +214,8 @@ pub mod collection {
     }
 
     /// Strategy for `Vec<S::Value>` with a random length drawn from `size`.
+    ///
+    /// Mirrors `proptest::collection::vec<T: Strategy>(element: T, size: impl Into<SizeRange>) -> VecStrategy<T>`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
         VecStrategy {
             element,
@@ -241,6 +245,9 @@ pub mod test_runner {
     use rand::SeedableRng;
 
     /// Derive a deterministic RNG for (test name, case index).
+    ///
+    /// Mirrors `proptest::test_runner::TestRng::from_seed` as used by the real
+    /// crate's runner: every case gets a reproducible generator.
     #[must_use]
     pub fn case_rng(test_name: &str, case: u32) -> StdRng {
         // FNV-1a over the test name, mixed with the case index.

@@ -265,24 +265,32 @@ pub mod seq {
 
         impl IndexVec {
             /// Number of sampled indices.
+            ///
+            /// Mirrors `rand::seq::index::IndexVec::len(&self) -> usize`.
             #[must_use]
             pub fn len(&self) -> usize {
                 self.0.len()
             }
 
             /// Whether the sample is empty.
+            ///
+            /// Mirrors `rand::seq::index::IndexVec::is_empty(&self) -> bool`.
             #[must_use]
             pub fn is_empty(&self) -> bool {
                 self.0.is_empty()
             }
 
             /// Consume into a plain vector of indices.
+            ///
+            /// Mirrors `rand::seq::index::IndexVec::into_vec(self) -> Vec<usize>`.
             #[must_use]
             pub fn into_vec(self) -> Vec<usize> {
                 self.0
             }
 
             /// Iterate over the sampled indices.
+            ///
+            /// Mirrors `rand::seq::index::IndexVec::iter(&self) -> IndexVecIter<'_>`.
             pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
                 self.0.iter().copied()
             }
@@ -299,6 +307,8 @@ pub mod seq {
 
         /// Sample `amount` distinct indices from `0..length` uniformly at
         /// random, via a partial Fisher–Yates shuffle.
+        ///
+        /// Mirrors `rand::seq::index::sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec`.
         ///
         /// # Panics
         /// Panics if `amount > length`.

@@ -41,6 +41,8 @@ pub struct Poisson<F = f64> {
 
 impl Poisson<f64> {
     /// Create a Poisson distribution. `lambda` must be finite and positive.
+    ///
+    /// Mirrors `rand_distr::Poisson::<f64>::new(lambda: f64) -> Result<Poisson<f64>, PoissonError>`.
     pub fn new(lambda: f64) -> Result<Self, PoissonError> {
         if !(lambda.is_finite() && lambda > 0.0) {
             return Err(PoissonError::ShapeTooSmall);
@@ -52,6 +54,9 @@ impl Poisson<f64> {
     }
 
     /// The configured rate.
+    ///
+    /// Mirrors `rand_distr::Poisson` field access (the real crate exposes the
+    /// rate via `Debug`); kept as `lambda(&self) -> f64` for telemetry labels.
     #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda

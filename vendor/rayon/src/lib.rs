@@ -14,6 +14,8 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads the shim will use (logical CPU count).
+///
+/// Mirrors `rayon::current_num_threads() -> usize`.
 #[must_use]
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
@@ -51,6 +53,8 @@ pub struct ParIter<T> {
 
 impl<T: Send> ParIter<T> {
     /// Map each item through `op` (evaluated in parallel at `collect`).
+    ///
+    /// Mirrors `rayon::iter::ParallelIterator::map<F, R>(self, map_op: F)`.
     pub fn map<R, F>(self, op: F) -> ParMap<T, F>
     where
         R: Send,
@@ -71,6 +75,8 @@ pub struct ParMap<T, F> {
 
 impl<T, F> ParMap<T, F> {
     /// Evaluate the map across worker threads, preserving input order.
+    ///
+    /// Mirrors `rayon::iter::ParallelIterator::collect<C: FromParallelIterator>(self) -> C`.
     pub fn collect<R, C>(self) -> C
     where
         T: Send,

@@ -30,6 +30,9 @@ pub enum Value {
 
 impl Value {
     /// Look up a key in an object value.
+    ///
+    /// Mirrors `serde_json::Value::get<I: Index>(&self, index: I) -> Option<&Value>`
+    /// for the string-key case.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
@@ -39,6 +42,9 @@ impl Value {
     }
 
     /// View as object entries, if this is an object.
+    ///
+    /// Mirrors `serde_json::Value::as_object(&self) -> Option<&Map<String, Value>>`
+    /// (the shim's map is an insertion-ordered slice of pairs).
     #[must_use]
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
@@ -48,6 +54,8 @@ impl Value {
     }
 
     /// View as a string slice, if this is a string.
+    ///
+    /// Mirrors `serde_json::Value::as_str(&self) -> Option<&str>`.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -57,6 +65,8 @@ impl Value {
     }
 
     /// View as an `f64`, accepting integer values as well.
+    ///
+    /// Mirrors `serde_json::Value::as_f64(&self) -> Option<f64>`.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -67,6 +77,9 @@ impl Value {
     }
 
     /// View as an `i128`, if this is an integer.
+    ///
+    /// Mirrors `serde_json::Value::as_i64(&self) -> Option<i64>`, widened to
+    /// `i128` because the shim stores one integer variant.
     #[must_use]
     pub fn as_int(&self) -> Option<i128> {
         match self {
@@ -82,6 +95,8 @@ pub struct Error(String);
 
 impl Error {
     /// Create an error from any message.
+    ///
+    /// Mirrors `serde::de::Error::custom<T: Display>(msg: T) -> Self`.
     pub fn custom(msg: impl std::fmt::Display) -> Self {
         Error(msg.to_string())
     }

@@ -135,6 +135,9 @@ fn compile_error(msg: &str) -> TokenStream {
 }
 
 /// Derive `serde::Serialize` for named-field structs and fieldless enums.
+///
+/// Mirrors `serde_derive::derive_serialize(input: TokenStream) -> TokenStream`
+/// (the `#[proc_macro_derive(Serialize)]` entry point).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {
@@ -177,6 +180,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` for named-field structs and fieldless enums.
+///
+/// Mirrors `serde_derive::derive_deserialize(input: TokenStream) -> TokenStream`
+/// (the `#[proc_macro_derive(Deserialize)]` entry point).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = match parse_input(input) {

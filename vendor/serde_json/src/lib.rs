@@ -9,6 +9,8 @@
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// Serialize a value to a compact JSON string.
+///
+/// Mirrors `serde_json::to_string<T: ?Sized + Serialize>(value: &T) -> Result<String>`.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&value.serialize(), &mut out, None, 0);
@@ -16,6 +18,8 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 }
 
 /// Serialize a value to a human-readable, two-space-indented JSON string.
+///
+/// Mirrors `serde_json::to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String>`.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&value.serialize(), &mut out, Some(2), 0);
@@ -23,6 +27,8 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 }
 
 /// Deserialize a value from a JSON string.
+///
+/// Mirrors `serde_json::from_str<T: DeserializeOwned>(s: &str) -> Result<T>`.
 pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: input.as_bytes(),
